@@ -1,0 +1,41 @@
+// Fig. 11: effectiveness of Optimal QP Assignment — mAP for fixed deltas
+// (5/15/25) vs the adaptive delta, across 1..5 Mbps, on both datasets.
+// The adaptive rule should win at most bandwidths, with the largest gap
+// over delta=5 at 1 Mbps.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dive;
+  bench::print_header(
+      "Fig. 11: fixed vs adaptive background delta (mAP)",
+      "adaptive delta highest at most bandwidths; big win over delta=5 at 1 Mbps");
+
+  const data::DatasetSpec specs[] = {
+      bench::scaled(data::robotcar_like(), 1, 40),
+      bench::scaled(data::nuscenes_like(), 1, 40),
+  };
+  const int deltas[] = {5, 15, 25, -1};  // -1 = adaptive
+
+  for (const auto& spec : specs) {
+    const auto clips = data::generate_dataset(spec);
+    util::TextTable t(std::string("Fig. 11 on ") + data::to_string(spec.kind));
+    t.set_header({"bandwidth", "delta=5", "delta=15", "delta=25", "adaptive"});
+    for (double mbps = 1.0; mbps <= 5.0; mbps += 1.0) {
+      harness::NetworkScenario net;
+      net.mbps = mbps;
+      std::vector<std::string> row{util::TextTable::fmt(mbps, 0) + " Mbps"};
+      for (int delta : deltas) {
+        harness::SchemeOptions opts;
+        opts.fixed_delta = delta;
+        const auto r = harness::run_experiment(harness::SchemeKind::kDive,
+                                               clips, net, opts);
+        row.push_back(util::TextTable::fmt(r.map, 3));
+      }
+      t.add_row(row);
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Microbenchmarks of the codec substrate (google-benchmark): transform,
+// quantization, SAD kernels, the five motion-search methods, and full
+// frame encode/decode.
+#include <benchmark/benchmark.h>
+
+#include "codec/dct.h"
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "codec/motion_search.h"
+#include "codec/quant.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dive;
+
+video::Frame textured_frame(int w, int h, std::uint64_t seed) {
+  video::Frame f(w, h);
+  util::Rng rng(seed);
+  for (auto& px : f.y.data)
+    px = static_cast<std::uint8_t>(rng.uniform_int(20, 235));
+  for (auto& px : f.u.data)
+    px = static_cast<std::uint8_t>(rng.uniform_int(110, 150));
+  for (auto& px : f.v.data)
+    px = static_cast<std::uint8_t>(rng.uniform_int(110, 150));
+  return f;
+}
+
+void BM_ForwardDct(benchmark::State& state) {
+  util::Rng rng(1);
+  codec::Block8x8 in, out;
+  for (auto& v : in) v = rng.uniform(-128, 128);
+  for (auto _ : state) {
+    codec::forward_dct(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ForwardDct);
+
+void BM_InverseDct(benchmark::State& state) {
+  util::Rng rng(2);
+  codec::Block8x8 in, out;
+  for (auto& v : in) v = rng.uniform(-512, 512);
+  for (auto _ : state) {
+    codec::inverse_dct(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_InverseDct);
+
+void BM_Quantize(benchmark::State& state) {
+  util::Rng rng(3);
+  codec::Block8x8 in;
+  codec::QuantBlock levels;
+  for (auto& v : in) v = rng.uniform(-512, 512);
+  for (auto _ : state) {
+    codec::quantize(in, static_cast<int>(state.range(0)), levels);
+    benchmark::DoNotOptimize(levels);
+  }
+}
+BENCHMARK(BM_Quantize)->Arg(10)->Arg(30)->Arg(50);
+
+void BM_Sad16x16(benchmark::State& state) {
+  const auto frame = textured_frame(256, 256, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec::sad_16x16(frame.y, frame.y, 64, 64,
+                         {static_cast<int>(state.range(0)), 2}));
+  }
+}
+BENCHMARK(BM_Sad16x16)->Arg(0)->Arg(1);  // full-pel vs half-pel path
+
+void BM_MotionSearchMethod(benchmark::State& state) {
+  const auto cur = textured_frame(256, 128, 5);
+  const auto ref = textured_frame(256, 128, 6);
+  codec::MotionSearchConfig cfg;
+  cfg.method = static_cast<codec::MotionSearchMethod>(state.range(0));
+  const codec::MotionSearcher searcher(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(searcher.search_frame(cur.y, ref.y));
+  }
+  state.SetLabel(codec::to_string(cfg.method));
+}
+BENCHMARK(BM_MotionSearchMethod)->DenseRange(0, 4);
+
+void BM_EncodeInter(benchmark::State& state) {
+  codec::Encoder enc({.width = 256, .height = 128});
+  enc.encode(textured_frame(256, 128, 7), 26);
+  const auto frame = textured_frame(256, 128, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(frame, 26));
+  }
+}
+BENCHMARK(BM_EncodeInter);
+
+void BM_EncodeToTarget(benchmark::State& state) {
+  codec::Encoder enc({.width = 256, .height = 128});
+  enc.encode(textured_frame(256, 128, 9), 26);
+  const auto frame = textured_frame(256, 128, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode_to_target(frame, 6000));
+  }
+}
+BENCHMARK(BM_EncodeToTarget);
+
+void BM_Decode(benchmark::State& state) {
+  codec::Encoder enc({.width = 256, .height = 128});
+  const auto intra = enc.encode(textured_frame(256, 128, 11), 26);
+  for (auto _ : state) {
+    codec::Decoder dec;
+    benchmark::DoNotOptimize(dec.decode(intra.data));
+  }
+}
+BENCHMARK(BM_Decode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Shared driver for the Fig. 16/17 end-to-end comparisons: every scheme
+// (DiVE, O3, EAAR, DDS) across 1..5 Mbps on one dataset, reporting mAP
+// and response time.
+#pragma once
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace dive::bench {
+
+inline int run_end_to_end(data::DatasetSpec spec, const char* figure_id,
+                          const char* paper_summary) {
+  print_header(figure_id, paper_summary);
+  const auto clips = data::generate_dataset(spec);
+
+  const harness::SchemeKind kinds[] = {
+      harness::SchemeKind::kDive, harness::SchemeKind::kO3,
+      harness::SchemeKind::kEaar, harness::SchemeKind::kDds};
+
+  util::TextTable map_table(std::string("(a) mAP on ") +
+                            data::to_string(spec.kind));
+  map_table.set_header(
+      {"bandwidth", "DiVE", "O3", "EAAR", "DDS", "DiVE vs DDS"});
+  util::TextTable rt_table(std::string("(b) mean response time (ms) on ") +
+                           data::to_string(spec.kind));
+  rt_table.set_header({"bandwidth", "DiVE", "O3", "EAAR", "DDS"});
+
+  for (double mbps = 1.0; mbps <= 5.0; mbps += 1.0) {
+    harness::NetworkScenario net;
+    net.mbps = mbps;
+    double maps[4] = {};
+    double rts[4] = {};
+    for (int k = 0; k < 4; ++k) {
+      const auto r = harness::run_experiment(kinds[k], clips, net);
+      maps[k] = r.map;
+      rts[k] = r.mean_response_ms;
+    }
+    const std::string bw = util::TextTable::fmt(mbps, 0) + " Mbps";
+    map_table.add_row(
+        {bw, util::TextTable::fmt(maps[0], 3), util::TextTable::fmt(maps[1], 3),
+         util::TextTable::fmt(maps[2], 3), util::TextTable::fmt(maps[3], 3),
+         util::TextTable::fmt_pct(
+             maps[3] > 0 ? (maps[0] - maps[3]) / maps[3] : 0.0, 1)});
+    rt_table.add_row({bw, util::TextTable::fmt(rts[0], 1),
+                      util::TextTable::fmt(rts[1], 1),
+                      util::TextTable::fmt(rts[2], 1),
+                      util::TextTable::fmt(rts[3], 1)});
+  }
+  std::printf("%s\n%s\n", map_table.to_string().c_str(),
+              rt_table.to_string().c_str());
+  return 0;
+}
+
+}  // namespace dive::bench

@@ -1,0 +1,66 @@
+// Codec playground: exercises the block codec directly — the substrate
+// DiVE builds on. Encodes a clip at several QPs and with a differential
+// QP offset map, printing rate/PSNR, and demonstrates motion-vector
+// extraction (the analysis input for DiVE's foreground extraction).
+//
+//   ./build/examples/codec_playground
+#include <cstdio>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "data/dataset.h"
+#include "util/table.h"
+#include "video/image_ops.h"
+
+int main() {
+  using namespace dive;
+
+  const auto spec = data::kitti_like(/*clip_count=*/1, /*frames=*/24);
+  const data::Clip clip = data::generate_clip(spec, 0);
+  const int w = clip.camera.width();
+  const int h = clip.camera.height();
+
+  std::printf("rate/quality sweep over %d frames (%dx%d):\n",
+              clip.frame_count(), w, h);
+  util::TextTable sweep("constant-QP encoding");
+  sweep.set_header({"QP", "kbit/s", "mean PSNR-Y (dB)"});
+  for (int qp : {8, 16, 24, 32, 40}) {
+    codec::Encoder enc({.width = w, .height = h});
+    std::size_t bytes = 0;
+    double psnr = 0.0;
+    for (const auto& rec : clip.frames) {
+      const auto encoded = enc.encode(rec.image, qp);
+      bytes += encoded.bytes();
+      psnr += encoded.psnr_y;
+    }
+    const double kbps = static_cast<double>(bytes) * 8.0 * clip.fps /
+                        clip.frame_count() / 1000.0;
+    sweep.add_row({std::to_string(qp), util::TextTable::fmt(kbps, 0),
+                   util::TextTable::fmt(psnr / clip.frame_count(), 2)});
+  }
+  std::printf("%s\n", sweep.to_string().c_str());
+
+  // Differential encoding: compress the left half of the frame hard.
+  codec::Encoder enc({.width = w, .height = h});
+  codec::Decoder dec;
+  codec::QpOffsetMap offsets(w / 16, h / 16, 0);
+  for (int row = 0; row < h / 16; ++row)
+    for (int col = 0; col < w / 32; ++col) offsets.at(col, row) = 20;
+  const auto& frame = clip.frames[4].image;
+  dec.decode(enc.encode(clip.frames[3].image, 18).data);  // intra reference
+  const auto encoded = enc.encode(frame, 18, &offsets);
+  const auto decoded = dec.decode(encoded.data);
+  std::printf("differential QP map: %zu bytes; whole-frame PSNR %.2f dB\n",
+              encoded.bytes(), video::psnr_y(frame, decoded.frame));
+
+  // Motion-vector extraction: the per-macroblock field DiVE consumes.
+  const auto field = enc.analyze_motion(clip.frames[5].image);
+  std::printf("\nmotion field (%dx%d macroblocks), eta=%.2f; row %d:\n",
+              field.mb_cols, field.mb_rows, field.nonzero_ratio(),
+              field.mb_rows / 2);
+  for (int col = 0; col < field.mb_cols; col += 2) {
+    const auto mv = field.at(col, field.mb_rows / 2).as_vec2();
+    std::printf("  mb %2d: (%+5.1f, %+5.1f) px\n", col, mv.x, mv.y);
+  }
+  return 0;
+}

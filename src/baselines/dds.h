@@ -1,0 +1,63 @@
+// DDS baseline (Du et al., SIGCOMM 2020): server-driven two-pass
+// streaming, at frame granularity (as the paper configures it for fair
+// comparison). Pass 1 uploads the whole frame at low quality; the server's
+// detections come back as feedback regions; pass 2 re-uploads those
+// regions at high quality and the server re-infers for the final result.
+// Every frame therefore pays two upload+inference round trips — the source
+// of DDS's higher response time — while its accuracy tracks DiVE's except
+// when the low-quality pass misses objects entirely (low bandwidth).
+#pragma once
+
+#include <memory>
+
+#include "codec/encoder.h"
+#include "core/bandwidth_estimator.h"
+#include "core/scheme.h"
+#include "edge/server.h"
+#include "net/uplink.h"
+
+namespace dive::baselines {
+
+struct DdsConfig {
+  double fps = 12.0;
+  /// Budget split between the low-quality and high-quality passes.
+  double pass1_budget_share = 0.45;
+  /// Feedback regions are detection boxes inflated by this padding.
+  double region_padding_px = 14.0;
+  /// Background offset applied outside feedback regions in pass 2.
+  int pass2_background_delta = 18;
+  /// When the uplink backlog at capture exceeds this, the frame is
+  /// skipped (stale result reused) — real DDS deployments drop to a lower
+  /// processing rate rather than queueing unboundedly, since each frame
+  /// costs two serialized uploads plus a feedback round trip.
+  util::SimTime skip_backlog = util::from_millis(70.0);
+  core::AgentLatencies latencies;
+  core::BandwidthEstimatorConfig bandwidth;
+};
+
+class DdsScheme final : public core::AnalyticsScheme {
+ public:
+  /// DDS keeps two streams (low-quality full video + high-quality
+  /// regions), hence two decoders on the server side; it owns both
+  /// servers to keep the decoder states private.
+  DdsScheme(DdsConfig config, codec::EncoderConfig encoder_config,
+            std::shared_ptr<net::Uplink> uplink,
+            const edge::ServerConfig& server_config, std::uint64_t seed);
+
+  [[nodiscard]] const char* name() const override { return "DDS"; }
+
+  core::FrameOutcome process_frame(const video::Frame& frame,
+                             util::SimTime capture_time) override;
+
+ private:
+  DdsConfig config_;
+  codec::Encoder encoder_low_;
+  codec::Encoder encoder_high_;
+  std::shared_ptr<net::Uplink> uplink_;
+  edge::EdgeServer server_low_;
+  edge::EdgeServer server_high_;
+  core::BandwidthEstimator bandwidth_;
+  edge::DetectionList last_detections_;
+};
+
+}  // namespace dive::baselines

@@ -1,0 +1,44 @@
+// EAAR baseline (Liu et al., SIGCOMM 2019): edge-assisted AR object
+// detection with (a) ROI encoding of key frames guided by the cached
+// detection results — QP 30 inside regions of interest, QP 40 elsewhere,
+// the paper's defaults — and (b) parallel streaming + inference, modelled
+// as the decode latency and half the inference latency overlapping the
+// transfer.
+#pragma once
+
+#include "baselines/keyframe_scheme.h"
+
+namespace dive::baselines {
+
+struct EaarConfig {
+  int high_quality_qp = 30;
+  int low_quality_qp = 40;
+  /// Cached detection boxes are inflated by this many pixels when forming
+  /// the ROI map (objects move between key frames).
+  double roi_padding_px = 12.0;
+};
+
+class EaarScheme final : public KeyframeScheme {
+ public:
+  EaarScheme(KeyframeSchemeConfig config, EaarConfig eaar,
+             codec::EncoderConfig encoder_config,
+             std::shared_ptr<net::Uplink> uplink,
+             std::shared_ptr<edge::EdgeServer> server)
+      : KeyframeScheme(config, encoder_config, std::move(uplink),
+                       std::move(server)),
+        eaar_(eaar) {}
+
+  [[nodiscard]] const char* name() const override { return "EAAR"; }
+
+ protected:
+  codec::EncodedFrame encode_keyframe(const video::Frame& frame,
+                                      std::size_t budget_bytes) override;
+
+  util::SimTime adjust_result_time(util::SimTime nominal,
+                                   util::SimTime arrival) const override;
+
+ private:
+  EaarConfig eaar_;
+};
+
+}  // namespace dive::baselines

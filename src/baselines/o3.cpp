@@ -1,0 +1,4 @@
+#include "baselines/o3.h"
+
+// O3Scheme is fully defined inline; this TU anchors the target.
+namespace dive::baselines {}

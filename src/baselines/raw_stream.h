@@ -1,0 +1,48 @@
+// Upper-bound reference scheme: every frame uploaded with rate-adaptive
+// uniform quality (no foreground differentiation, no tracking fallback).
+// Not one of the paper's baselines — used by tests and ablations to
+// isolate the contribution of DiVE's differential encoding.
+#pragma once
+
+#include <memory>
+
+#include "codec/encoder.h"
+#include "core/bandwidth_estimator.h"
+#include "core/scheme.h"
+#include "edge/server.h"
+#include "net/uplink.h"
+
+namespace dive::baselines {
+
+struct RawStreamConfig {
+  double fps = 12.0;
+  core::AgentLatencies latencies;
+  core::BandwidthEstimatorConfig bandwidth;
+};
+
+class RawStreamScheme final : public core::AnalyticsScheme {
+ public:
+  RawStreamScheme(RawStreamConfig config, codec::EncoderConfig encoder_config,
+                  std::shared_ptr<net::Uplink> uplink,
+                  std::shared_ptr<edge::EdgeServer> server)
+      : config_(config),
+        encoder_(encoder_config),
+        uplink_(std::move(uplink)),
+        server_(std::move(server)),
+        bandwidth_(config.bandwidth) {}
+
+  [[nodiscard]] const char* name() const override { return "Uniform"; }
+
+  core::FrameOutcome process_frame(const video::Frame& frame,
+                             util::SimTime capture_time) override;
+
+ private:
+  RawStreamConfig config_;
+  codec::Encoder encoder_;
+  std::shared_ptr<net::Uplink> uplink_;
+  std::shared_ptr<edge::EdgeServer> server_;
+  core::BandwidthEstimator bandwidth_;
+  edge::DetectionList last_detections_;
+};
+
+}  // namespace dive::baselines

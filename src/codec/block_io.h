@@ -1,0 +1,52 @@
+// Serialization of one quantized 8x8 block, shared verbatim by encoder and
+// decoder so the two sides cannot drift apart.
+//
+// Format: nonzero-count (ue) followed by `count` (zero-run ue, level se)
+// pairs in zigzag order.
+#pragma once
+
+#include "codec/bitstream.h"
+#include "codec/quant.h"
+
+namespace dive::codec {
+
+inline void write_block(BitWriter& bw, const QuantBlock& levels) {
+  const auto& zz = zigzag_order();
+  int nonzero = 0;
+  for (int i = 0; i < 64; ++i)
+    if (levels[static_cast<std::size_t>(zz[static_cast<std::size_t>(i)])] != 0)
+      ++nonzero;
+  bw.put_ue(static_cast<std::uint32_t>(nonzero));
+  int run = 0;
+  for (int i = 0; i < 64 && nonzero > 0; ++i) {
+    const std::int32_t level =
+        levels[static_cast<std::size_t>(zz[static_cast<std::size_t>(i)])];
+    if (level == 0) {
+      ++run;
+    } else {
+      bw.put_ue(static_cast<std::uint32_t>(run));
+      bw.put_se(level);
+      run = 0;
+      --nonzero;
+    }
+  }
+}
+
+inline void read_block(BitReader& br, QuantBlock& levels) {
+  levels.fill(0);
+  const auto& zz = zigzag_order();
+  const std::uint32_t nonzero = br.get_ue();
+  if (nonzero > 64) throw BitstreamError("block: nonzero count > 64");
+  int pos = 0;
+  for (std::uint32_t k = 0; k < nonzero; ++k) {
+    const std::uint32_t run = br.get_ue();
+    pos += static_cast<int>(run);
+    if (pos >= 64) throw BitstreamError("block: zigzag overrun");
+    const std::int32_t level = br.get_se();
+    if (level == 0) throw BitstreamError("block: zero level coded");
+    levels[static_cast<std::size_t>(zz[static_cast<std::size_t>(pos)])] = level;
+    ++pos;
+  }
+}
+
+}  // namespace dive::codec

@@ -1,0 +1,63 @@
+#include "codec/dct.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace dive::codec {
+
+namespace {
+
+/// cos((2x+1) u pi / 16) basis, and orthonormal scale factors.
+struct DctTables {
+  double basis[8][8];  // [u][x]
+  double scale[8];
+
+  DctTables() {
+    for (int u = 0; u < 8; ++u) {
+      scale[u] = u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int x = 0; x < 8; ++x) {
+        basis[u][x] = std::cos((2.0 * x + 1.0) * u * std::numbers::pi / 16.0);
+      }
+    }
+  }
+};
+
+const DctTables& tables() {
+  static const DctTables t;
+  return t;
+}
+
+void dct_1d(const double* in, double* out, int stride_in, int stride_out) {
+  const auto& t = tables();
+  for (int u = 0; u < 8; ++u) {
+    double acc = 0.0;
+    for (int x = 0; x < 8; ++x) acc += in[x * stride_in] * t.basis[u][x];
+    out[u * stride_out] = acc * t.scale[u];
+  }
+}
+
+void idct_1d(const double* in, double* out, int stride_in, int stride_out) {
+  const auto& t = tables();
+  for (int x = 0; x < 8; ++x) {
+    double acc = 0.0;
+    for (int u = 0; u < 8; ++u)
+      acc += t.scale[u] * in[u * stride_in] * t.basis[u][x];
+    out[x * stride_out] = acc;
+  }
+}
+
+}  // namespace
+
+void forward_dct(const Block8x8& input, Block8x8& output) {
+  Block8x8 tmp;
+  for (int r = 0; r < 8; ++r) dct_1d(&input[r * 8], &tmp[r * 8], 1, 1);
+  for (int c = 0; c < 8; ++c) dct_1d(&tmp[c], &output[c], 8, 8);
+}
+
+void inverse_dct(const Block8x8& input, Block8x8& output) {
+  Block8x8 tmp;
+  for (int c = 0; c < 8; ++c) idct_1d(&input[c], &tmp[c], 8, 8);
+  for (int r = 0; r < 8; ++r) idct_1d(&tmp[r * 8], &output[r * 8], 1, 1);
+}
+
+}  // namespace dive::codec

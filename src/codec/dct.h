@@ -1,0 +1,18 @@
+// 8x8 type-II DCT / inverse DCT used as the codec's residual transform.
+// Orthonormal formulation: applying forward then inverse reproduces the
+// input up to rounding.
+#pragma once
+
+#include <array>
+
+namespace dive::codec {
+
+using Block8x8 = std::array<double, 64>;  ///< row-major 8x8 block
+
+/// Forward 2-D DCT (orthonormal).
+void forward_dct(const Block8x8& input, Block8x8& output);
+
+/// Inverse 2-D DCT.
+void inverse_dct(const Block8x8& input, Block8x8& output);
+
+}  // namespace dive::codec

@@ -1,0 +1,176 @@
+#include "codec/decoder.h"
+
+#include <algorithm>
+
+#include "codec/bitstream.h"
+#include "codec/block_io.h"
+#include "codec/motion_search.h"
+#include "codec/dct.h"
+#include "codec/quant.h"
+
+namespace dive::codec {
+
+namespace {
+
+constexpr int kMb = kMacroblockSize;
+
+std::uint8_t clamp_pixel(double v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+double dc_predict(const video::Plane& recon, int bx, int by) {
+  double acc = 0.0;
+  int n = 0;
+  if (by > 0) {
+    for (int x = 0; x < kBlockSize; ++x) {
+      acc += recon.at(bx + x, by - 1);
+      ++n;
+    }
+  }
+  if (bx > 0) {
+    for (int y = 0; y < kBlockSize; ++y) {
+      acc += recon.at(bx - 1, by + y);
+      ++n;
+    }
+  }
+  return n > 0 ? acc / n : 128.0;
+}
+
+void add_residual_and_store(video::Plane& out, int bx, int by,
+                            const double* pred /*64*/,
+                            const QuantBlock* levels, int qp) {
+  Block8x8 res{};
+  if (levels != nullptr) {
+    Block8x8 deq;
+    dequantize(*levels, qp, deq);
+    inverse_dct(deq, res);
+  }
+  for (int y = 0; y < kBlockSize; ++y)
+    for (int x = 0; x < kBlockSize; ++x)
+      out.at(bx + x, by + y) =
+          clamp_pixel(pred[y * kBlockSize + x] + res[static_cast<std::size_t>(y * kBlockSize + x)]);
+}
+
+void mc_predict(const video::Plane& ref, int bx, int by, int hdx, int hdy,
+                double* pred /*64*/) {
+  // (hdx, hdy) are half-pel units of this plane; mirror the encoder's
+  // bilinear interpolation exactly.
+  for (int y = 0; y < kBlockSize; ++y)
+    for (int x = 0; x < kBlockSize; ++x)
+      pred[y * kBlockSize + x] = static_cast<double>(
+          half_pel_sample(ref, 2 * (bx + x) - hdx, 2 * (by + y) - hdy));
+}
+
+}  // namespace
+
+DecodedFrame Decoder::decode(std::span<const std::uint8_t> data) {
+  BitReader br(data);
+  if (br.get_bits(8) != 0xD1)
+    throw BitstreamError("Decoder: bad magic");
+  const FrameType type = br.get_bit() ? FrameType::kInter : FrameType::kIntra;
+  const int base_qp = static_cast<int>(br.get_bits(6));
+  const int mb_cols = static_cast<int>(br.get_ue());
+  const int mb_rows = static_cast<int>(br.get_ue());
+  if (mb_cols <= 0 || mb_rows <= 0 || mb_cols > 1024 || mb_rows > 1024)
+    throw BitstreamError("Decoder: implausible frame geometry");
+  if (type == FrameType::kInter && !has_reference_)
+    throw BitstreamError("Decoder: inter frame without reference");
+
+  const int width = mb_cols * kMb;
+  const int height = mb_rows * kMb;
+  if (has_reference_ &&
+      (reference_.width() != width || reference_.height() != height))
+    throw BitstreamError("Decoder: frame size changed mid-stream");
+
+  DecodedFrame out;
+  out.type = type;
+  out.base_qp = base_qp;
+  out.frame = video::Frame(width, height);
+  out.motion = MotionField(mb_cols, mb_rows);
+
+  double pred[64];
+  QuantBlock levels;
+  int prev_qp = base_qp;
+
+  for (int row = 0; row < mb_rows; ++row) {
+    for (int col = 0; col < mb_cols; ++col) {
+      const int px = col * kMb;
+      const int py = row * kMb;
+      const int cx = px / 2;
+      const int cy = py / 2;
+
+      if (type == FrameType::kInter) {
+        const bool skip = br.get_bit();
+        MotionVector mv{};
+        int qp = prev_qp;
+        int cbp = 0;
+        if (!skip) {
+          const MotionVector pred_mv =
+              col > 0 ? out.motion.at(col - 1, row) : MotionVector{};
+          mv.dx = pred_mv.dx + br.get_se();
+          mv.dy = pred_mv.dy + br.get_se();
+          qp = prev_qp + br.get_se();
+          if (qp < kMinQp || qp > kMaxQp)
+            throw BitstreamError("Decoder: QP out of range");
+          prev_qp = qp;
+          cbp = static_cast<int>(br.get_bits(6));
+        }
+        out.motion.at(col, row) = mv;
+        const int cdx = mv.dx / 2;
+        const int cdy = mv.dy / 2;
+
+        struct B {
+          const video::Plane* ref;
+          video::Plane* dst;
+          int bx, by, dx, dy;
+        };
+        const B blocks[6] = {
+            {&reference_.y, &out.frame.y, px, py, mv.dx, mv.dy},
+            {&reference_.y, &out.frame.y, px + 8, py, mv.dx, mv.dy},
+            {&reference_.y, &out.frame.y, px, py + 8, mv.dx, mv.dy},
+            {&reference_.y, &out.frame.y, px + 8, py + 8, mv.dx, mv.dy},
+            {&reference_.u, &out.frame.u, cx, cy, cdx, cdy},
+            {&reference_.v, &out.frame.v, cx, cy, cdx, cdy},
+        };
+        for (int b = 0; b < 6; ++b) {
+          mc_predict(*blocks[b].ref, blocks[b].bx, blocks[b].by, blocks[b].dx,
+                     blocks[b].dy, pred);
+          const bool coded = (cbp & (1 << b)) != 0;
+          if (coded) read_block(br, levels);
+          add_residual_and_store(*blocks[b].dst, blocks[b].bx, blocks[b].by,
+                                 pred, coded ? &levels : nullptr, qp);
+        }
+      } else {
+        const int qp_delta = br.get_se();
+        const int qp = prev_qp + qp_delta;
+        if (qp < kMinQp || qp > kMaxQp)
+          throw BitstreamError("Decoder: QP out of range");
+        prev_qp = qp;
+
+        struct B {
+          video::Plane* dst;
+          int bx, by;
+        };
+        const B blocks[6] = {
+            {&out.frame.y, px, py},       {&out.frame.y, px + 8, py},
+            {&out.frame.y, px, py + 8},   {&out.frame.y, px + 8, py + 8},
+            {&out.frame.u, cx, cy},       {&out.frame.v, cx, cy},
+        };
+        for (const auto& blk : blocks) {
+          const double dc = dc_predict(*blk.dst, blk.bx, blk.by);
+          for (double& p : pred) p = dc;
+          const bool coded = br.get_bit();
+          if (coded) read_block(br, levels);
+          add_residual_and_store(*blk.dst, blk.bx, blk.by, pred,
+                                 coded ? &levels : nullptr, qp);
+        }
+      }
+    }
+  }
+
+  reference_ = out.frame;
+  has_reference_ = true;
+  return out;
+}
+
+}  // namespace dive::codec

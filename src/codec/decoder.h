@@ -1,0 +1,39 @@
+// Block video decoder — the edge server's half of the codec. Maintains its
+// own reference frame; decoding a stream produced by Encoder reproduces
+// the encoder's reconstruction exactly (asserted by round-trip tests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "codec/types.h"
+#include "video/frame.h"
+
+namespace dive::codec {
+
+struct DecodedFrame {
+  video::Frame frame;
+  FrameType type = FrameType::kIntra;
+  int base_qp = 0;
+  /// Motion field parsed from the stream (inter frames; skip MBs read as
+  /// zero vectors).
+  MotionField motion;
+};
+
+class Decoder {
+ public:
+  Decoder() = default;
+
+  /// Decodes one encoded frame. Throws BitstreamError on malformed input
+  /// (including an inter frame arriving before any reference exists).
+  DecodedFrame decode(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] bool has_reference() const { return has_reference_; }
+  [[nodiscard]] const video::Frame& reference() const { return reference_; }
+
+ private:
+  video::Frame reference_;
+  bool has_reference_ = false;
+};
+
+}  // namespace dive::codec

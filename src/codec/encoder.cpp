@@ -1,0 +1,312 @@
+#include "codec/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "codec/block_io.h"
+#include "codec/dct.h"
+#include "codec/quant.h"
+#include "video/image_ops.h"
+
+namespace dive::codec {
+
+namespace {
+
+constexpr int kMb = kMacroblockSize;
+
+std::uint8_t clamp_pixel(double v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+/// Mean of the reconstructed samples above and left of the 8x8 block at
+/// pixel origin (bx, by). Mirrors H.264 DC intra prediction; the decoder
+/// runs the identical function on its own reconstruction.
+double dc_predict(const video::Plane& recon, int bx, int by) {
+  double acc = 0.0;
+  int n = 0;
+  if (by > 0) {
+    for (int x = 0; x < kBlockSize; ++x) {
+      acc += recon.at(bx + x, by - 1);
+      ++n;
+    }
+  }
+  if (bx > 0) {
+    for (int y = 0; y < kBlockSize; ++y) {
+      acc += recon.at(bx - 1, by + y);
+      ++n;
+    }
+  }
+  return n > 0 ? acc / n : 128.0;
+}
+
+/// Motion-compensated 8x8 prediction block from a reference plane;
+/// (hdx, hdy) is the displacement in half-pel units of that plane.
+Block8x8 mc_predict(const video::Plane& ref, int bx, int by, int hdx,
+                    int hdy) {
+  Block8x8 pred;
+  for (int y = 0; y < kBlockSize; ++y)
+    for (int x = 0; x < kBlockSize; ++x)
+      pred[static_cast<std::size_t>(y * kBlockSize + x)] =
+          static_cast<double>(half_pel_sample(ref, 2 * (bx + x) - hdx,
+                                              2 * (by + y) - hdy));
+  return pred;
+}
+
+Block8x8 const_predict(double v) {
+  Block8x8 p;
+  p.fill(v);
+  return p;
+}
+
+/// Transform + quantize the (src - pred) residual of one 8x8 block.
+/// Returns true when any level is nonzero.
+bool transform_block(const video::Plane& src, int bx, int by,
+                     const Block8x8& pred, int qp, QuantBlock& levels) {
+  Block8x8 residual;
+  for (int y = 0; y < kBlockSize; ++y)
+    for (int x = 0; x < kBlockSize; ++x)
+      residual[static_cast<std::size_t>(y * kBlockSize + x)] =
+          static_cast<double>(src.at(bx + x, by + y)) -
+          pred[static_cast<std::size_t>(y * kBlockSize + x)];
+  Block8x8 coeffs;
+  forward_dct(residual, coeffs);
+  quantize(coeffs, qp, levels);
+  return !all_zero(levels);
+}
+
+/// Reconstruct one 8x8 block into `recon` from prediction + (optional)
+/// coded levels.
+void reconstruct_block(video::Plane& recon, int bx, int by,
+                       const Block8x8& pred, const QuantBlock* levels,
+                       int qp) {
+  Block8x8 res{};
+  if (levels != nullptr) {
+    Block8x8 deq;
+    dequantize(*levels, qp, deq);
+    inverse_dct(deq, res);
+  }
+  for (int y = 0; y < kBlockSize; ++y)
+    for (int x = 0; x < kBlockSize; ++x)
+      recon.at(bx + x, by + y) =
+          clamp_pixel(pred[static_cast<std::size_t>(y * kBlockSize + x)] +
+                      res[static_cast<std::size_t>(y * kBlockSize + x)]);
+}
+
+}  // namespace
+
+const char* to_string(MotionSearchMethod m) {
+  switch (m) {
+    case MotionSearchMethod::kDia: return "dia";
+    case MotionSearchMethod::kHex: return "hex";
+    case MotionSearchMethod::kUmh: return "umh";
+    case MotionSearchMethod::kTesa: return "tesa";
+    case MotionSearchMethod::kEsa: return "esa";
+  }
+  return "?";
+}
+
+Encoder::Encoder(EncoderConfig config)
+    : config_(config), searcher_(config.search) {
+  if (config_.width <= 0 || config_.height <= 0 ||
+      config_.width % kMb != 0 || config_.height % kMb != 0) {
+    throw std::invalid_argument(
+        "Encoder: frame dimensions must be positive multiples of 16");
+  }
+}
+
+MotionField Encoder::analyze_motion(const video::Frame& src) const {
+  if (!has_reference_) return {};
+  return searcher_.search_frame(src.y, reference_.y);
+}
+
+FrameType Encoder::next_frame_type() const {
+  if (force_intra_ || !has_reference_) return FrameType::kIntra;
+  if (config_.gop_length > 0 && frame_index_ % config_.gop_length == 0)
+    return FrameType::kIntra;
+  return FrameType::kInter;
+}
+
+Encoder::Trial Encoder::run_trial(const video::Frame& src, FrameType type,
+                                  int base_qp, const QpOffsetMap* offsets,
+                                  const MotionField* motion) const {
+  base_qp = std::clamp(base_qp, kMinQp, kMaxQp);
+  const int mb_cols = config_.width / kMb;
+  const int mb_rows = config_.height / kMb;
+
+  Trial trial;
+  trial.base_qp = base_qp;
+  trial.recon = video::Frame(config_.width, config_.height);
+
+  BitWriter bw;
+  bw.put_bits(0xD1, 8);  // magic
+  bw.put_bit(type == FrameType::kInter);
+  bw.put_bits(static_cast<std::uint32_t>(base_qp), 6);
+  bw.put_ue(static_cast<std::uint32_t>(mb_cols));
+  bw.put_ue(static_cast<std::uint32_t>(mb_rows));
+
+  // Per-macroblock block geometry: 4 luma 8x8 + U + V.
+  struct BlockRef {
+    const video::Plane* src;
+    video::Plane* recon;
+    const video::Plane* ref;
+    int bx, by;
+    bool chroma;
+  };
+
+  int prev_qp = base_qp;
+  for (int row = 0; row < mb_rows; ++row) {
+    for (int col = 0; col < mb_cols; ++col) {
+      const int px = col * kMb;
+      const int py = row * kMb;
+      const int cx = px / 2;
+      const int cy = py / 2;
+      int qp = base_qp;
+      if (offsets != nullptr && !offsets->empty())
+        qp = std::clamp(base_qp + offsets->at(col, row), kMinQp, kMaxQp);
+
+      const BlockRef blocks[6] = {
+          {&src.y, &trial.recon.y, &reference_.y, px, py, false},
+          {&src.y, &trial.recon.y, &reference_.y, px + 8, py, false},
+          {&src.y, &trial.recon.y, &reference_.y, px, py + 8, false},
+          {&src.y, &trial.recon.y, &reference_.y, px + 8, py + 8, false},
+          {&src.u, &trial.recon.u, &reference_.u, cx, cy, true},
+          {&src.v, &trial.recon.v, &reference_.v, cx, cy, true},
+      };
+
+      if (type == FrameType::kInter) {
+        const MotionVector mv = motion->at(col, row);
+        // Chroma planes are half resolution: halve the half-pel units.
+        const int cdx = mv.dx / 2;
+        const int cdy = mv.dy / 2;
+
+        Block8x8 preds[6];
+        QuantBlock levels[6];
+        int cbp = 0;
+        for (int b = 0; b < 6; ++b) {
+          const auto& blk = blocks[b];
+          preds[b] = mc_predict(*blk.ref, blk.bx, blk.by,
+                                blk.chroma ? cdx : mv.dx,
+                                blk.chroma ? cdy : mv.dy);
+          if (transform_block(*blk.src, blk.bx, blk.by, preds[b], qp,
+                              levels[b]))
+            cbp |= 1 << b;
+        }
+
+        const bool skip = mv.is_zero() && cbp == 0;
+        bw.put_bit(skip);
+        if (!skip) {
+          const MotionVector pred_mv =
+              col > 0 ? motion->at(col - 1, row) : MotionVector{};
+          bw.put_se(mv.dx - pred_mv.dx);
+          bw.put_se(mv.dy - pred_mv.dy);
+          bw.put_se(qp - prev_qp);
+          prev_qp = qp;
+          bw.put_bits(static_cast<std::uint32_t>(cbp), 6);
+          for (int b = 0; b < 6; ++b)
+            if (cbp & (1 << b)) write_block(bw, levels[b]);
+        }
+        for (int b = 0; b < 6; ++b) {
+          const auto& blk = blocks[b];
+          reconstruct_block(*blk.recon, blk.bx, blk.by, preds[b],
+                            (cbp & (1 << b)) ? &levels[b] : nullptr, qp);
+        }
+      } else {
+        // Intra macroblock: DC-predicted 8x8 blocks. Prediction depends on
+        // the running reconstruction, so transform/emit/reconstruct
+        // proceed block by block.
+        bw.put_se(qp - prev_qp);
+        prev_qp = qp;
+        for (int b = 0; b < 6; ++b) {
+          const auto& blk = blocks[b];
+          const Block8x8 pred =
+              const_predict(dc_predict(*blk.recon, blk.bx, blk.by));
+          QuantBlock levels;
+          const bool coded =
+              transform_block(*blk.src, blk.bx, blk.by, pred, qp, levels);
+          bw.put_bit(coded);
+          if (coded) write_block(bw, levels);
+          reconstruct_block(*blk.recon, blk.bx, blk.by, pred,
+                            coded ? &levels : nullptr, qp);
+        }
+      }
+    }
+  }
+
+  trial.data = bw.finish();
+  return trial;
+}
+
+EncodedFrame Encoder::commit(Trial trial, FrameType type,
+                             const MotionField* motion,
+                             const video::Frame& src) {
+  EncodedFrame out;
+  out.data = std::move(trial.data);
+  out.type = type;
+  out.base_qp = trial.base_qp;
+  if (type == FrameType::kInter && motion != nullptr) out.motion = *motion;
+  out.psnr_y = video::psnr_y(src, trial.recon);
+
+  reference_ = std::move(trial.recon);
+  has_reference_ = true;
+  force_intra_ = false;
+  ++frame_index_;
+  last_qp_ = out.base_qp;
+  return out;
+}
+
+EncodedFrame Encoder::encode(const video::Frame& src, int base_qp,
+                             const QpOffsetMap* offsets,
+                             const MotionField* motion) {
+  if (src.width() != config_.width || src.height() != config_.height)
+    throw std::invalid_argument("Encoder::encode: frame size mismatch");
+  const FrameType type = next_frame_type();
+  MotionField local;
+  if (type == FrameType::kInter && motion == nullptr) {
+    local = analyze_motion(src);
+    motion = &local;
+  }
+  Trial trial = run_trial(src, type, base_qp, offsets, motion);
+  return commit(std::move(trial), type, motion, src);
+}
+
+EncodedFrame Encoder::encode_to_target(const video::Frame& src,
+                                       std::size_t target_bytes,
+                                       const QpOffsetMap* offsets,
+                                       const MotionField* motion) {
+  if (src.width() != config_.width || src.height() != config_.height)
+    throw std::invalid_argument("Encoder::encode_to_target: size mismatch");
+  const FrameType type = next_frame_type();
+  MotionField local;
+  if (type == FrameType::kInter && motion == nullptr) {
+    local = analyze_motion(src);
+    motion = &local;
+  }
+
+  // Binary search over base QP for the best quality that fits the budget.
+  int lo = kMinQp;
+  int hi = kMaxQp;
+  int qp = std::clamp(last_qp_, kMinQp, kMaxQp);
+  std::optional<Trial> best;  // smallest-QP fitting trial so far
+  Trial last_over{};          // fallback when nothing fits
+
+  for (int iter = 0; iter < std::max(1, config_.rate_iterations); ++iter) {
+    Trial trial = run_trial(src, type, qp, offsets, motion);
+    if (trial.data.size() <= target_bytes) {
+      hi = trial.base_qp - 1;
+      if (!best || trial.base_qp < best->base_qp) best = std::move(trial);
+    } else {
+      lo = trial.base_qp + 1;
+      last_over = std::move(trial);
+    }
+    if (lo > hi) break;
+    qp = (lo + hi) / 2;
+  }
+
+  Trial chosen = best ? std::move(*best) : std::move(last_over);
+  if (chosen.data.empty())
+    chosen = run_trial(src, type, kMaxQp, offsets, motion);
+  return commit(std::move(chosen), type, motion, src);
+}
+
+}  // namespace dive::codec

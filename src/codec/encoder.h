@@ -1,0 +1,91 @@
+// Block video encoder: I/P GoP structure, per-macroblock QP via offset
+// maps, motion-compensated prediction, 8x8 DCT + quantization, Exp-Golomb
+// entropy coding — the "basic video encoding operation" the paper assumes
+// on the mobile agent (Sec. II-A/II-B), plus byte-budget targeting used by
+// DiVE's Adaptive Video Encoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codec/motion_search.h"
+#include "codec/types.h"
+#include "video/frame.h"
+
+namespace dive::codec {
+
+struct EncoderConfig {
+  int width = 0;   ///< must be a multiple of 16
+  int height = 0;  ///< must be a multiple of 16
+  MotionSearchConfig search;
+  int gop_length = 120;         ///< distance between intra frames
+  int rate_iterations = 5;      ///< QP trials for encode_to_target
+};
+
+struct EncodedFrame {
+  std::vector<std::uint8_t> data;
+  FrameType type = FrameType::kIntra;
+  int base_qp = 0;
+  /// Motion field the encoder used (empty for intra frames).
+  MotionField motion;
+  double psnr_y = 0.0;  ///< reconstruction quality vs. the source
+
+  [[nodiscard]] std::size_t bytes() const { return data.size(); }
+};
+
+class Encoder {
+ public:
+  explicit Encoder(EncoderConfig config);
+
+  [[nodiscard]] const EncoderConfig& config() const { return config_; }
+  [[nodiscard]] int frame_index() const { return frame_index_; }
+  [[nodiscard]] bool has_reference() const { return has_reference_; }
+  [[nodiscard]] const video::Frame& reference() const { return reference_; }
+
+  /// Motion analysis of `src` against the current reference without
+  /// encoding (used by DiVE preprocessing, which needs MVs before the QP
+  /// map exists). Empty field when no reference frame is available yet.
+  [[nodiscard]] MotionField analyze_motion(const video::Frame& src) const;
+
+  /// Encodes at a fixed base QP (CRF-style). `offsets`, when given, adds a
+  /// per-macroblock delta. `motion` reuses a precomputed field (must come
+  /// from analyze_motion on the same source). Advances codec state.
+  EncodedFrame encode(const video::Frame& src, int base_qp,
+                      const QpOffsetMap* offsets = nullptr,
+                      const MotionField* motion = nullptr);
+
+  /// Encodes the frame to fit `target_bytes`: searches base QP over a few
+  /// trials (single motion-estimation pass), commits the best-fitting
+  /// trial. The result may exceed the target if even QP 51 cannot fit.
+  EncodedFrame encode_to_target(const video::Frame& src,
+                                std::size_t target_bytes,
+                                const QpOffsetMap* offsets = nullptr,
+                                const MotionField* motion = nullptr);
+
+  /// Force the next encoded frame to be intra.
+  void request_intra() { force_intra_ = true; }
+
+ private:
+  struct Trial {
+    std::vector<std::uint8_t> data;
+    video::Frame recon;
+    int base_qp = 0;
+  };
+
+  [[nodiscard]] FrameType next_frame_type() const;
+  Trial run_trial(const video::Frame& src, FrameType type, int base_qp,
+                  const QpOffsetMap* offsets, const MotionField* motion) const;
+  EncodedFrame commit(Trial trial, FrameType type, const MotionField* motion,
+                      const video::Frame& src);
+
+  EncoderConfig config_;
+  MotionSearcher searcher_;
+  video::Frame reference_;
+  bool has_reference_ = false;
+  bool force_intra_ = false;
+  int frame_index_ = 0;
+  int last_qp_ = 30;
+};
+
+}  // namespace dive::codec

@@ -1,0 +1,329 @@
+#include "codec/motion_search.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "codec/bitstream.h"
+
+namespace dive::codec {
+
+namespace {
+
+constexpr int kMb = kMacroblockSize;
+
+/// True when the 16x16 reference read at (x0, y0) stays inside the plane
+/// (with one extra sample right/below for half-pel interpolation).
+bool ref_inside(const video::Plane& ref, int x0, int y0, int margin = 0) {
+  return x0 >= 0 && y0 >= 0 && x0 + kMb + margin <= ref.width &&
+         y0 + kMb + margin <= ref.height;
+}
+
+/// SAD against a full-pel displaced reference block.
+std::uint32_t sad_fullpel(const video::Plane& cur, const video::Plane& ref,
+                          int cx, int cy, int dx, int dy) {
+  const int rx = cx - dx;
+  const int ry = cy - dy;
+  std::uint32_t acc = 0;
+  if (ref_inside(ref, rx, ry)) {
+    for (int y = 0; y < kMb; ++y) {
+      const std::uint8_t* c =
+          &cur.data[static_cast<std::size_t>(cy + y) * cur.width + cx];
+      const std::uint8_t* r =
+          &ref.data[static_cast<std::size_t>(ry + y) * ref.width + rx];
+      for (int x = 0; x < kMb; ++x)
+        acc += static_cast<std::uint32_t>(
+            std::abs(static_cast<int>(c[x]) - r[x]));
+    }
+  } else {
+    for (int y = 0; y < kMb; ++y)
+      for (int x = 0; x < kMb; ++x)
+        acc += static_cast<std::uint32_t>(
+            std::abs(static_cast<int>(cur.at(cx + x, cy + y)) -
+                     static_cast<int>(ref.at_clamped(rx + x, ry + y))));
+  }
+  return acc;
+}
+
+}  // namespace
+
+int half_pel_sample(const video::Plane& ref, int hx, int hy) {
+  const int x0 = hx >> 1;
+  const int y0 = hy >> 1;
+  const bool fx = hx & 1;
+  const bool fy = hy & 1;
+  if (!fx && !fy) return ref.at_clamped(x0, y0);
+  if (fx && !fy)
+    return (ref.at_clamped(x0, y0) + ref.at_clamped(x0 + 1, y0) + 1) >> 1;
+  if (!fx)
+    return (ref.at_clamped(x0, y0) + ref.at_clamped(x0, y0 + 1) + 1) >> 1;
+  return (ref.at_clamped(x0, y0) + ref.at_clamped(x0 + 1, y0) +
+          ref.at_clamped(x0, y0 + 1) + ref.at_clamped(x0 + 1, y0 + 1) + 2) >>
+         2;
+}
+
+
+std::uint32_t sad_16x16(const video::Plane& cur, const video::Plane& ref,
+                        int cx, int cy, MotionVector mv) {
+  if ((mv.dx & 1) == 0 && (mv.dy & 1) == 0)
+    return sad_fullpel(cur, ref, cx, cy, mv.dx >> 1, mv.dy >> 1);
+  std::uint32_t acc = 0;
+  for (int y = 0; y < kMb; ++y)
+    for (int x = 0; x < kMb; ++x) {
+      const int r = half_pel_sample(ref, 2 * (cx + x) - mv.dx,
+                                       2 * (cy + y) - mv.dy);
+      acc += static_cast<std::uint32_t>(
+          std::abs(static_cast<int>(cur.at(cx + x, cy + y)) - r));
+    }
+  return acc;
+}
+
+namespace {
+
+/// 8x8 Hadamard transform of integer residuals, sum of |coefficients|.
+std::uint32_t hadamard8_cost(int d[8][8]) {
+  for (int r = 0; r < 8; ++r) {
+    int* v = d[r];
+    for (int len = 1; len < 8; len <<= 1) {
+      for (int i = 0; i < 8; i += len << 1) {
+        for (int j = i; j < i + len; ++j) {
+          const int a = v[j], b = v[j + len];
+          v[j] = a + b;
+          v[j + len] = a - b;
+        }
+      }
+    }
+  }
+  for (int c = 0; c < 8; ++c) {
+    for (int len = 1; len < 8; len <<= 1) {
+      for (int i = 0; i < 8; i += len << 1) {
+        for (int j = i; j < i + len; ++j) {
+          const int a = d[j][c], b = d[j + len][c];
+          d[j][c] = a + b;
+          d[j + len][c] = a - b;
+        }
+      }
+    }
+  }
+  std::uint32_t acc = 0;
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 8; ++c)
+      acc += static_cast<std::uint32_t>(std::abs(d[r][c]));
+  return acc / 8;  // normalize roughly to SAD scale
+}
+
+}  // namespace
+
+std::uint32_t satd_16x16(const video::Plane& cur, const video::Plane& ref,
+                         int cx, int cy, MotionVector mv) {
+  std::uint32_t acc = 0;
+  int d[8][8];
+  for (int by = 0; by < 2; ++by) {
+    for (int bx = 0; bx < 2; ++bx) {
+      for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x) {
+          const int px = cx + bx * 8 + x;
+          const int py = cy + by * 8 + y;
+          d[y][x] = static_cast<int>(cur.at(px, py)) -
+                    half_pel_sample(ref, 2 * px - mv.dx, 2 * py - mv.dy);
+        }
+      acc += hadamard8_cost(d);
+    }
+  }
+  return acc;
+}
+
+namespace {
+
+struct Candidate {
+  int dx = 0;  // full-pel during the coarse stage
+  int dy = 0;
+  std::uint32_t cost = std::numeric_limits<std::uint32_t>::max();
+};
+
+/// Rate-aware cost for full-pel candidates (pattern searches). Bits are
+/// counted for the half-pel codes actually emitted into the stream.
+std::uint32_t pattern_cost(const video::Plane& cur, const video::Plane& ref,
+                           int cx, int cy, int dx, int dy, MotionVector pred,
+                           double lambda) {
+  const std::uint32_t dist = sad_fullpel(cur, ref, cx, cy, dx, dy);
+  const int bits = BitWriter::se_bits(2 * dx - pred.dx) +
+                   BitWriter::se_bits(2 * dy - pred.dy);
+  return dist + static_cast<std::uint32_t>(lambda * bits);
+}
+
+void consider(Candidate& best, const video::Plane& cur,
+              const video::Plane& ref, int cx, int cy, int dx, int dy,
+              MotionVector pred, double lambda, int range) {
+  if (std::abs(dx) > range || std::abs(dy) > range) return;
+  const std::uint32_t cost =
+      pattern_cost(cur, ref, cx, cy, dx, dy, pred, lambda);
+  if (cost < best.cost) {
+    best.cost = cost;
+    best.dx = dx;
+    best.dy = dy;
+  }
+}
+
+template <std::size_t N>
+void refine(Candidate& best, const std::array<std::pair<int, int>, N>& pattern,
+            const video::Plane& cur, const video::Plane& ref, int cx, int cy,
+            MotionVector pred, double lambda, int range, int max_iters) {
+  for (int iter = 0; iter < max_iters; ++iter) {
+    const int cdx = best.dx;
+    const int cdy = best.dy;
+    for (const auto& [dx, dy] : pattern) {
+      consider(best, cur, ref, cx, cy, cdx + dx, cdy + dy, pred, lambda,
+               range);
+    }
+    if (best.dx == cdx && best.dy == cdy) break;
+  }
+}
+
+constexpr std::array<std::pair<int, int>, 4> kDiamond{
+    {{1, 0}, {-1, 0}, {0, 1}, {0, -1}}};
+constexpr std::array<std::pair<int, int>, 6> kHexagon{
+    {{2, 0}, {-2, 0}, {1, 2}, {1, -2}, {-1, 2}, {-1, -2}}};
+constexpr std::array<std::pair<int, int>, 16> kHexadecagon{
+    {{4, 0},  {4, 1},   {4, 2},  {2, 3},  {0, 4},  {-2, 3}, {-4, 2}, {-4, 1},
+     {-4, 0}, {-4, -1}, {-4, -2},{-2, -3},{0, -4}, {2, -3}, {4, -2}, {4, -1}}};
+
+}  // namespace
+
+MotionVector MotionSearcher::search_block(const video::Plane& cur,
+                                          const video::Plane& ref, int cx,
+                                          int cy, MotionVector pred,
+                                          std::uint32_t& best_sad) const {
+  const int range = config_.range;
+  const double lambda = config_.lambda;
+  const bool exhaustive = config_.method == MotionSearchMethod::kEsa ||
+                          config_.method == MotionSearchMethod::kTesa;
+
+  Candidate best;
+  if (exhaustive) {
+    // Exhaustive full-pel search, pure-distortion objective (x264's
+    // ESA/TESA rank candidates by residual cost; on repetitive or plain
+    // texture the global optimum is frequently not the true motion).
+    const bool satd = config_.method == MotionSearchMethod::kTesa;
+    for (int dy = -range; dy <= range; ++dy) {
+      for (int dx = -range; dx <= range; ++dx) {
+        const std::uint32_t cost =
+            satd ? satd_16x16(cur, ref, cx, cy, MotionVector::from_fullpel(dx, dy))
+                 : sad_fullpel(cur, ref, cx, cy, dx, dy);
+        if (cost < best.cost) {
+          best.cost = cost;
+          best.dx = dx;
+          best.dy = dy;
+        }
+      }
+    }
+  } else {
+    // Pattern searches start from the predictor and the zero vector.
+    const int pfx = pred.dx / 2;
+    const int pfy = pred.dy / 2;
+    consider(best, cur, ref, cx, cy, 0, 0, pred, lambda, range);
+    consider(best, cur, ref, cx, cy, pfx, pfy, pred, lambda, range);
+
+    switch (config_.method) {
+      case MotionSearchMethod::kDia:
+        refine(best, kDiamond, cur, ref, cx, cy, pred, lambda, range,
+               2 * range);
+        break;
+      case MotionSearchMethod::kHex:
+        refine(best, kHexagon, cur, ref, cx, cy, pred, lambda, range, range);
+        refine(best, kDiamond, cur, ref, cx, cy, pred, lambda, range, 2);
+        break;
+      case MotionSearchMethod::kUmh: {
+        // 1) Cross search at progressively coarser stride.
+        for (int d = 2; d <= range; d += 2) {
+          consider(best, cur, ref, cx, cy, d, 0, pred, lambda, range);
+          consider(best, cur, ref, cx, cy, -d, 0, pred, lambda, range);
+          if (d <= range / 2) {
+            consider(best, cur, ref, cx, cy, 0, d, pred, lambda, range);
+            consider(best, cur, ref, cx, cy, 0, -d, pred, lambda, range);
+          }
+        }
+        // 2) 5x5 full search around the current best.
+        const int c5x = best.dx;
+        const int c5y = best.dy;
+        for (int dy = -2; dy <= 2; ++dy)
+          for (int dx = -2; dx <= 2; ++dx)
+            consider(best, cur, ref, cx, cy, c5x + dx, c5y + dy, pred, lambda,
+                     range);
+        // 3) Uneven multi-hexagon rings.
+        const int rcx = best.dx;
+        const int rcy = best.dy;
+        for (int scale = 1; scale * 4 <= range; scale *= 2) {
+          for (const auto& [dx, dy] : kHexadecagon)
+            consider(best, cur, ref, cx, cy, rcx + dx * scale,
+                     rcy + dy * scale, pred, lambda, range);
+        }
+        // 4) Hexagon + diamond refinement.
+        refine(best, kHexagon, cur, ref, cx, cy, pred, lambda, range, range);
+        refine(best, kDiamond, cur, ref, cx, cy, pred, lambda, range, 2);
+        break;
+      }
+      case MotionSearchMethod::kEsa:
+      case MotionSearchMethod::kTesa:
+        break;  // handled above
+    }
+  }
+
+  // Half-pel refinement around the full-pel winner (all methods; x264's
+  // subpel stage). Pure SAD objective.
+  MotionVector hp = MotionVector::from_fullpel(best.dx, best.dy);
+  std::uint32_t hp_sad = sad_16x16(cur, ref, cx, cy, hp);
+  for (int iter = 0; iter < 2; ++iter) {
+    const MotionVector center = hp;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        const MotionVector cand{center.dx + dx, center.dy + dy};
+        if (std::abs(cand.dx) > 2 * range || std::abs(cand.dy) > 2 * range)
+          continue;
+        const std::uint32_t s = sad_16x16(cur, ref, cx, cy, cand);
+        if (s < hp_sad) {
+          hp_sad = s;
+          hp = cand;
+        }
+      }
+    }
+    if (hp == center) break;
+  }
+
+  // Zero-MV bias (pattern searches only, like production encoders): when
+  // the stationary candidate is nearly as cheap as the winner, prefer it.
+  // This keeps sensor noise in plain regions from fabricating motion,
+  // which matters for the eta-based ego-motion judgement (Fig. 6).
+  if (!exhaustive && !hp.is_zero()) {
+    const std::uint32_t zero_sad = sad_fullpel(cur, ref, cx, cy, 0, 0);
+    if (zero_sad <= hp_sad + std::max<std::uint32_t>(48, zero_sad / 16)) {
+      hp = {0, 0};
+      hp_sad = zero_sad;
+    }
+  }
+  best_sad = hp_sad;
+  return hp;
+}
+
+MotionField MotionSearcher::search_frame(const video::Plane& cur,
+                                         const video::Plane& ref) const {
+  const int cols = cur.width / kMb;
+  const int rows = cur.height / kMb;
+  MotionField field(cols, rows);
+  for (int row = 0; row < rows; ++row) {
+    MotionVector pred{};  // left-neighbor predictor, reset per row
+    for (int col = 0; col < cols; ++col) {
+      std::uint32_t sad = 0;
+      const MotionVector mv =
+          search_block(cur, ref, col * kMb, row * kMb, pred, sad);
+      field.at(col, row) = mv;
+      field.sad[static_cast<std::size_t>(row) * cols + col] = sad;
+      pred = mv;
+    }
+  }
+  return field;
+}
+
+}  // namespace dive::codec

@@ -1,0 +1,64 @@
+// Block-matching motion estimation over 16x16 luma macroblocks.
+//
+// Implements the five x264 search strategies the paper sweeps in Fig. 9
+// (DIA, HEX, UMH, TESA, ESA). The pattern searches (DIA/HEX/UMH) start
+// from the spatial predictor and pay a rate penalty for straying from it,
+// so they produce spatially coherent fields; the exhaustive searches
+// chase the global residual minimum, which on aliased or plain texture
+// need not be the true motion — exactly the noise source the paper
+// observes ("motion estimation methods are designed for obtaining minimal
+// residual data but not real object matching").
+#pragma once
+
+#include <cstdint>
+
+#include "codec/types.h"
+#include "video/frame.h"
+
+namespace dive::codec {
+
+struct MotionSearchConfig {
+  MotionSearchMethod method = MotionSearchMethod::kHex;
+  /// Max |component| of a motion vector in pixels. 24 keeps fast pans
+  /// (vehicle turns reach ~15-25 px/frame at our focal lengths) inside
+  /// the window; vectors at the limit are saturated and unreliable.
+  int range = 24;
+  double lambda = 6.0;   ///< rate-cost weight for pattern searches
+};
+
+/// Reference sample at half-pel coordinates (hx, hy) = pixel position
+/// (hx/2, hy/2), bilinearly averaged on odd components; reads clamp to
+/// the plane border. Shared by motion search and motion compensation so
+/// search cost and prediction agree exactly.
+int half_pel_sample(const video::Plane& ref, int hx, int hy);
+
+/// Sum of absolute differences between the 16x16 block of `cur` at
+/// (cx, cy) and the block of `ref` displaced by `mv` (half-pel units);
+/// reads outside `ref` clamp to the border.
+std::uint32_t sad_16x16(const video::Plane& cur, const video::Plane& ref,
+                        int cx, int cy, MotionVector mv);
+
+/// Sum of absolute Hadamard-transformed differences (TESA metric).
+std::uint32_t satd_16x16(const video::Plane& cur, const video::Plane& ref,
+                         int cx, int cy, MotionVector mv);
+
+class MotionSearcher {
+ public:
+  explicit MotionSearcher(MotionSearchConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const MotionSearchConfig& config() const { return config_; }
+
+  /// Estimates the motion field of `cur` against reference `ref`
+  /// (both luma planes; dimensions must match and be multiples of 16).
+  [[nodiscard]] MotionField search_frame(const video::Plane& cur,
+                                         const video::Plane& ref) const;
+
+ private:
+  MotionVector search_block(const video::Plane& cur, const video::Plane& ref,
+                            int cx, int cy, MotionVector pred,
+                            std::uint32_t& best_cost) const;
+
+  MotionSearchConfig config_;
+};
+
+}  // namespace dive::codec

@@ -1,0 +1,31 @@
+// Quantization (Sec. II-B step 2): maps DCT coefficients to integer
+// levels under a QP-controlled step size, H.264-style: the step doubles
+// every 6 QP. QP 0 is near-lossless; QP 51 obliterates texture.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "codec/dct.h"
+#include "codec/types.h"
+
+namespace dive::codec {
+
+using QuantBlock = std::array<std::int32_t, 64>;
+
+/// Quantizer step size for a QP (clamped into [kMinQp, kMaxQp]).
+double qp_step(int qp);
+
+/// Coefficients -> levels (round-to-nearest with a small dead zone).
+void quantize(const Block8x8& coeffs, int qp, QuantBlock& levels);
+
+/// Levels -> reconstructed coefficients.
+void dequantize(const QuantBlock& levels, int qp, Block8x8& coeffs);
+
+/// Zigzag scan order for an 8x8 block (low frequencies first).
+const std::array<int, 64>& zigzag_order();
+
+/// True if every level is zero (block can be skipped in the bitstream).
+bool all_zero(const QuantBlock& levels);
+
+}  // namespace dive::codec

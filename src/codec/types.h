@@ -1,0 +1,116 @@
+// Shared codec vocabulary: macroblocks, motion vectors, QP offset maps,
+// frame types, and the motion-estimation method menu (Sec. II-B and the
+// x264 method sweep of Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace dive::codec {
+
+/// Macroblock edge length in luma pixels (the paper's "typical size").
+constexpr int kMacroblockSize = 16;
+
+/// Transform block edge (8x8 DCT).
+constexpr int kBlockSize = 8;
+
+/// Valid quantizer-parameter range (H.264-style).
+constexpr int kMinQp = 0;
+constexpr int kMaxQp = 51;
+
+enum class FrameType : std::uint8_t { kIntra = 0, kInter = 1 };
+
+/// Block-matching search strategies, in ascending x264 complexity order.
+enum class MotionSearchMethod : std::uint8_t {
+  kDia = 0,   ///< small-diamond iterative search
+  kHex = 1,   ///< hexagon search (DiVE's default)
+  kUmh = 2,   ///< uneven multi-hexagon search
+  kTesa = 3,  ///< exhaustive with Hadamard (SATD) metric
+  kEsa = 4,   ///< exhaustive SAD search
+};
+
+const char* to_string(MotionSearchMethod m);
+
+/// Motion vector of one macroblock in HALF-PEL units (the vector points
+/// from the reference block to the current block, i.e. it is the
+/// on-screen motion of the content). dx = 3 means 1.5 pixels rightward.
+struct MotionVector {
+  int dx = 0;  ///< half-pel units
+  int dy = 0;  ///< half-pel units
+
+  bool operator==(const MotionVector&) const = default;
+  [[nodiscard]] bool is_zero() const { return dx == 0 && dy == 0; }
+  /// The motion in PIXELS.
+  [[nodiscard]] geom::Vec2 as_vec2() const {
+    return {static_cast<double>(dx) * 0.5, static_cast<double>(dy) * 0.5};
+  }
+  /// Construct from whole-pixel displacement.
+  static constexpr MotionVector from_fullpel(int px, int py) {
+    return {px * 2, py * 2};
+  }
+};
+
+/// Per-macroblock motion field for one frame.
+struct MotionField {
+  int mb_cols = 0;
+  int mb_rows = 0;
+  std::vector<MotionVector> mvs;   ///< row-major, mb_cols * mb_rows
+  std::vector<std::uint32_t> sad;  ///< matching cost of the chosen MV
+
+  MotionField() = default;
+  MotionField(int cols, int rows)
+      : mb_cols(cols), mb_rows(rows),
+        mvs(static_cast<std::size_t>(cols) * rows),
+        sad(static_cast<std::size_t>(cols) * rows, 0) {}
+
+  [[nodiscard]] bool empty() const { return mvs.empty(); }
+  [[nodiscard]] std::size_t size() const { return mvs.size(); }
+  [[nodiscard]] const MotionVector& at(int col, int row) const {
+    return mvs[static_cast<std::size_t>(row) * mb_cols + col];
+  }
+  MotionVector& at(int col, int row) {
+    return mvs[static_cast<std::size_t>(row) * mb_cols + col];
+  }
+
+  /// Fraction of macroblocks with a non-zero MV — the paper's η signal
+  /// for ego-motion judgement (Sec. III-B2).
+  [[nodiscard]] double nonzero_ratio() const {
+    if (mvs.empty()) return 0.0;
+    std::size_t nz = 0;
+    for (const auto& mv : mvs)
+      if (!mv.is_zero()) ++nz;
+    return static_cast<double>(nz) / static_cast<double>(mvs.size());
+  }
+
+  /// Pixel center of macroblock (col, row).
+  [[nodiscard]] geom::Vec2 mb_center(int col, int row) const {
+    return {col * static_cast<double>(kMacroblockSize) + kMacroblockSize / 2.0,
+            row * static_cast<double>(kMacroblockSize) + kMacroblockSize / 2.0};
+  }
+};
+
+/// Per-macroblock QP offsets (added to the frame base QP). A positive
+/// value compresses that macroblock harder — the paper's QP offset map
+/// (Sec. II-B); DiVE writes 0 for foreground and +delta for background.
+struct QpOffsetMap {
+  int mb_cols = 0;
+  int mb_rows = 0;
+  std::vector<std::int8_t> offsets;
+
+  QpOffsetMap() = default;
+  QpOffsetMap(int cols, int rows, std::int8_t fill = 0)
+      : mb_cols(cols), mb_rows(rows),
+        offsets(static_cast<std::size_t>(cols) * rows, fill) {}
+
+  [[nodiscard]] bool empty() const { return offsets.empty(); }
+  [[nodiscard]] std::int8_t at(int col, int row) const {
+    return offsets[static_cast<std::size_t>(row) * mb_cols + col];
+  }
+  std::int8_t& at(int col, int row) {
+    return offsets[static_cast<std::size_t>(row) * mb_cols + col];
+  }
+};
+
+}  // namespace dive::codec

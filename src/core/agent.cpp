@@ -1,0 +1,89 @@
+#include "core/agent.h"
+
+#include <algorithm>
+
+namespace dive::core {
+
+DiveAgent::DiveAgent(DiveConfig config, codec::EncoderConfig encoder_config,
+                     geom::PinholeCamera camera,
+                     std::shared_ptr<net::Uplink> uplink,
+                     std::shared_ptr<edge::EdgeServer> server)
+    : config_(config),
+      encoder_(encoder_config),
+      camera_(camera),
+      uplink_(std::move(uplink)),
+      server_(std::move(server)),
+      preprocessor_(config.preprocess, config.seed),
+      extractor_(config.foreground),
+      qp_assigner_(config.qp),
+      bandwidth_(config.bandwidth),
+      tracker_(config.tracker) {}
+
+FrameOutcome DiveAgent::process_frame(const video::Frame& frame,
+                                      util::SimTime capture_time) {
+  FrameOutcome outcome;
+
+  // 1-2. Motion vectors from the codec, then preprocessing.
+  const codec::MotionField motion = encoder_.analyze_motion(frame);
+  last_pre_ = preprocessor_.run(motion, camera_);
+
+  // 3. Foreground extraction (falls back to the last foreground when the
+  //    agent is stopped or no motion field exists).
+  last_fg_ = extractor_.extract(last_pre_, camera_);
+
+  // 4. Adaptive video encoding to the estimated uplink budget.
+  const codec::QpOffsetMap offsets = qp_assigner_.build_map(
+      last_fg_, frame.width() / codec::kMacroblockSize,
+      frame.height() / codec::kMacroblockSize);
+  last_delta_ = qp_assigner_.background_delta(
+      last_fg_, frame.width() / codec::kMacroblockSize,
+      frame.height() / codec::kMacroblockSize);
+  const double budget_rate = bandwidth_.target_bytes_per_sec(capture_time);
+  const auto target_bytes =
+      static_cast<std::size_t>(std::max(1.0, budget_rate / config_.fps));
+
+  if (need_resync_) encoder_.request_intra();
+  const codec::EncodedFrame encoded = encoder_.encode_to_target(
+      frame, target_bytes, &offsets, motion.empty() ? nullptr : &motion);
+  outcome.base_qp = encoded.base_qp;
+
+  const util::SimTime ready =
+      capture_time + config_.latencies.analysis + config_.latencies.encode;
+
+  // 5. Upload with head-of-line outage detection.
+  const net::TransmitResult tx =
+      uplink_->transmit_with_timeout(static_cast<double>(encoded.bytes()),
+                                     ready);
+  if (tx.delivered) {
+    need_resync_ = false;
+    outcome.bytes_sent = encoded.bytes();
+    outcome.offloaded = true;
+    bandwidth_.add_transmission(static_cast<double>(encoded.bytes()),
+                                tx.started, tx.sent_complete);
+    const edge::InferenceResult inference =
+        server_->process(encoded.data, tx.arrival);
+    last_detections_ = inference.detections;
+    outcome.detections = inference.detections;
+    outcome.response_time = inference.result_at_agent - capture_time;
+    return outcome;
+  }
+
+  // Link outage: the frame never reached the edge. The decoder state at
+  // the server is now behind ours, so the next delivered frame must be
+  // intra-coded.
+  need_resync_ = true;
+  if (config_.enable_offline_tracking) {
+    last_detections_ = tracker_.track(last_detections_, motion, frame.width(),
+                                      frame.height());
+    outcome.detections = last_detections_;
+  } else {
+    // Without MOT the agent simply reuses the stale result.
+    outcome.detections = last_detections_;
+  }
+  outcome.response_time =
+      (tx.gave_up_at - capture_time) + config_.latencies.local_track;
+  outcome.offloaded = false;
+  return outcome;
+}
+
+}  // namespace dive::core

@@ -1,0 +1,81 @@
+// The DiVE mobile agent (Fig. 5): per captured frame it
+//   1. pulls motion vectors from the codec's motion estimation,
+//   2. preprocesses them (ego-motion judgement, rotation removal),
+//   3. extracts foreground regions,
+//   4. assigns QP offsets (foreground 0, background adaptive delta) and
+//      encodes to the bandwidth-estimator's byte budget,
+//   5. uploads; on head-of-line timeout it falls back to motion-vector
+//      offline tracking until the link recovers.
+#pragma once
+
+#include <memory>
+
+#include "codec/encoder.h"
+#include "core/bandwidth_estimator.h"
+#include "core/foreground_extractor.h"
+#include "core/offline_tracker.h"
+#include "core/preprocess.h"
+#include "core/qp_assigner.h"
+#include "core/scheme.h"
+#include "edge/server.h"
+#include "geom/pinhole_camera.h"
+#include "net/uplink.h"
+
+namespace dive::core {
+
+struct DiveConfig {
+  PreprocessConfig preprocess;
+  ForegroundExtractorConfig foreground;
+  QpAssignerConfig qp;
+  BandwidthEstimatorConfig bandwidth;
+  OfflineTrackerConfig tracker;
+  AgentLatencies latencies;
+  double fps = 12.0;
+  bool enable_offline_tracking = true;  ///< Fig. 13 ablation switch
+  std::uint64_t seed = 7;
+};
+
+class DiveAgent final : public AnalyticsScheme {
+ public:
+  /// The agent owns its encoder; uplink and server are shared with the
+  /// harness that constructs the experiment.
+  DiveAgent(DiveConfig config, codec::EncoderConfig encoder_config,
+            geom::PinholeCamera camera, std::shared_ptr<net::Uplink> uplink,
+            std::shared_ptr<edge::EdgeServer> server);
+
+  [[nodiscard]] const char* name() const override { return "DiVE"; }
+
+  FrameOutcome process_frame(const video::Frame& frame,
+                             util::SimTime capture_time) override;
+
+  /// Most recent preprocessing/foreground state (exposed for the
+  /// component-level benchmarks and examples).
+  [[nodiscard]] const PreprocessResult& last_preprocess() const {
+    return last_pre_;
+  }
+  [[nodiscard]] const ForegroundResult& last_foreground() const {
+    return last_fg_;
+  }
+  [[nodiscard]] int last_background_delta() const { return last_delta_; }
+
+ private:
+  DiveConfig config_;
+  codec::Encoder encoder_;
+  geom::PinholeCamera camera_;
+  std::shared_ptr<net::Uplink> uplink_;
+  std::shared_ptr<edge::EdgeServer> server_;
+
+  Preprocessor preprocessor_;
+  ForegroundExtractor extractor_;
+  QpAssigner qp_assigner_;
+  BandwidthEstimator bandwidth_;
+  OfflineTracker tracker_;
+
+  edge::DetectionList last_detections_;
+  PreprocessResult last_pre_;
+  ForegroundResult last_fg_;
+  int last_delta_ = 0;
+  bool need_resync_ = false;  ///< next upload must be intra (after a drop)
+};
+
+}  // namespace dive::core

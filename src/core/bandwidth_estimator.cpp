@@ -1,0 +1,34 @@
+#include "core/bandwidth_estimator.h"
+
+#include <algorithm>
+
+namespace dive::core {
+
+void BandwidthEstimator::add_transmission(double bytes, util::SimTime start,
+                                          util::SimTime end) {
+  if (bytes <= 0.0 || end <= start) return;
+  samples_.push_back({bytes, start, end});
+  // Retire samples that ended more than a window before the newest one.
+  const util::SimTime cutoff = end - config_.window;
+  while (!samples_.empty() && samples_.front().end < cutoff)
+    samples_.pop_front();
+}
+
+double BandwidthEstimator::estimate(util::SimTime now) const {
+  const util::SimTime cutoff = now - config_.window;
+  double weighted = 0.0;
+  double weight = 0.0;
+  for (const auto& s : samples_) {
+    if (s.end < cutoff) continue;
+    const double duration = util::to_seconds(s.end - s.start);
+    if (duration <= 0.0) continue;
+    const double rate = s.bytes / duration;
+    // Weight by burst duration: long transfers are better capacity probes.
+    weighted += rate * duration;
+    weight += duration;
+  }
+  if (weight <= 0.0) return config_.prior_bytes_per_sec;
+  return weighted / weight;
+}
+
+}  // namespace dive::core

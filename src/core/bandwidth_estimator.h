@@ -1,0 +1,55 @@
+// Uplink bandwidth estimation (Sec. III-D1): the agent estimates capacity
+// from the encoded data it successfully pushed through the radio inside a
+// sliding window. We measure goodput per transmission burst (bytes over
+// the busy interval), which tracks true capacity even when the link is
+// idle between frames, and average the bursts that overlap the window.
+#pragma once
+
+#include <deque>
+
+#include "util/sim_clock.h"
+
+namespace dive::core {
+
+struct BandwidthEstimatorConfig {
+  util::SimTime window = util::from_seconds(2.0);
+  double prior_bytes_per_sec = 125'000.0;  ///< 1 Mbps until the first ack
+  /// Safety factor applied by `target_bytes_per_sec` so queues drain.
+  double safety = 0.9;
+};
+
+class BandwidthEstimator {
+ public:
+  explicit BandwidthEstimator(BandwidthEstimatorConfig config = {})
+      : config_(config) {}
+
+  /// Records a completed transmission: `bytes` serialized over
+  /// [start, end) (from the transport's ack feedback).
+  void add_transmission(double bytes, util::SimTime start, util::SimTime end);
+
+  /// Capacity estimate at time `now`, bytes/second.
+  [[nodiscard]] double estimate(util::SimTime now) const;
+
+  /// estimate() with the safety factor applied.
+  [[nodiscard]] double target_bytes_per_sec(util::SimTime now) const {
+    return estimate(now) * config_.safety;
+  }
+
+  [[nodiscard]] const BandwidthEstimatorConfig& config() const {
+    return config_;
+  }
+
+  void reset() { samples_.clear(); }
+
+ private:
+  struct Sample {
+    double bytes;
+    util::SimTime start;
+    util::SimTime end;
+  };
+
+  BandwidthEstimatorConfig config_;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace dive::core

@@ -1,0 +1,95 @@
+#include "core/foreground_extractor.h"
+
+#include <algorithm>
+
+#include "codec/types.h"
+#include "geom/convex_hull.h"
+
+namespace dive::core {
+
+double ForegroundResult::area_fraction(int width, int height) const {
+  if (width <= 0 || height <= 0) return 0.0;
+  double area = 0.0;
+  for (const auto& r : regions) area += r.bounds.area();
+  return std::clamp(area / (static_cast<double>(width) * height), 0.0, 1.0);
+}
+
+ForegroundResult ForegroundExtractor::extract(
+    const PreprocessResult& pre, const geom::PinholeCamera& camera) {
+  // Fallback path: stopped agent or unusable field -> reuse latest
+  // foreground (Sec. III-A, FE component).
+  if (pre.mvs.empty() || !pre.agent_moving) {
+    ForegroundResult out = last_;
+    out.from_fallback = true;
+    return out;
+  }
+
+  const GroundEstimate ground = ground_.estimate(pre, camera);
+  if (!ground.valid) {
+    ForegroundResult out = last_;
+    out.from_fallback = true;
+    return out;
+  }
+
+  auto clusters = clusterer_.grow(pre, ground.seed_indices,
+                                  ground.ground_mask, ground.in_hull_mask);
+  clusters = clusterer_.merge(std::move(clusters));
+
+  ForegroundResult out;
+  out.valid = true;
+  out.ground_threshold = ground.threshold;
+  out.seed_count = static_cast<int>(ground.seed_indices.size());
+
+  const double mb = codec::kMacroblockSize;
+  const double pad = config_.hull_padding_px;
+  for (const auto& cluster : clusters) {
+    // Hull over all four corners of every member macroblock, padded.
+    std::vector<geom::Vec2> corners;
+    corners.reserve(cluster.members.size() * 4);
+    for (int idx : cluster.members) {
+      const double col = idx % pre.mb_cols;
+      const double row = idx / pre.mb_cols;
+      const double x0 = col * mb - pad;
+      const double y0 = row * mb - pad;
+      const double x1 = (col + 1) * mb + pad;
+      const double y1 = (row + 1) * mb + pad;
+      corners.push_back({x0, y0});
+      corners.push_back({x1, y0});
+      corners.push_back({x0, y1});
+      corners.push_back({x1, y1});
+    }
+    ForegroundRegion region;
+    region.hull = geom::convex_hull(std::move(corners));
+    region.bounds = geom::bounding_box(region.hull)
+                        .clipped(camera.width(), camera.height());
+    region.mean_mv = cluster.mean_mv;
+    region.macroblocks = cluster.size();
+    if (!region.bounds.empty()) out.regions.push_back(std::move(region));
+  }
+
+  // Temporal carry: ride recent regions forward along their motion unless
+  // a fresh region already covers them.
+  for (const auto& prev : last_.regions) {
+    if (prev.age + 1 > config_.temporal_carry_frames) continue;
+    ForegroundRegion carried = prev;
+    ++carried.age;
+    for (auto& v : carried.hull) v += prev.mean_mv;
+    carried.bounds = geom::bounding_box(carried.hull)
+                         .clipped(camera.width(), camera.height());
+    if (carried.bounds.empty()) continue;
+    bool suppressed = false;
+    for (const auto& fresh : out.regions) {
+      if (fresh.age == 0 &&
+          geom::iou(fresh.bounds, carried.bounds) > config_.carry_suppress_iou) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) out.regions.push_back(std::move(carried));
+  }
+
+  last_ = out;
+  return out;
+}
+
+}  // namespace dive::core

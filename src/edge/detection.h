@@ -1,0 +1,19 @@
+// Detection records exchanged between the edge server and mobile agents.
+#pragma once
+
+#include <vector>
+
+#include "geom/box.h"
+#include "video/scene.h"
+
+namespace dive::edge {
+
+struct Detection {
+  video::ObjectClass cls = video::ObjectClass::kCar;
+  geom::Box box;            ///< luma-pixel coordinates
+  double confidence = 0.0;  ///< in [0, 1]
+};
+
+using DetectionList = std::vector<Detection>;
+
+}  // namespace dive::edge

@@ -1,0 +1,116 @@
+#include "edge/detector.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dive::edge {
+
+namespace {
+
+struct Blob {
+  int x0, y0, x1, y1;  // chroma-pixel bounds, half-open
+  int area = 0;
+  double excess_sum = 0.0;
+};
+
+/// 4-connected component extraction over a binary mask (chroma res).
+/// `excess` holds the per-pixel chroma excess for confidence scoring.
+std::vector<Blob> connected_components(const std::vector<std::uint8_t>& mask,
+                                       const std::vector<std::int16_t>& excess,
+                                       int w, int h) {
+  std::vector<Blob> blobs;
+  std::vector<std::uint8_t> visited(mask.size(), 0);
+  std::vector<int> stack;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int idx = y * w + x;
+      if (!mask[static_cast<std::size_t>(idx)] ||
+          visited[static_cast<std::size_t>(idx)])
+        continue;
+      Blob b{x, y, x + 1, y + 1, 0, 0.0};
+      stack.clear();
+      stack.push_back(idx);
+      visited[static_cast<std::size_t>(idx)] = 1;
+      while (!stack.empty()) {
+        const int cur = stack.back();
+        stack.pop_back();
+        const int cx = cur % w;
+        const int cy = cur / w;
+        ++b.area;
+        b.excess_sum += excess[static_cast<std::size_t>(cur)];
+        b.x0 = std::min(b.x0, cx);
+        b.y0 = std::min(b.y0, cy);
+        b.x1 = std::max(b.x1, cx + 1);
+        b.y1 = std::max(b.y1, cy + 1);
+        const int neighbors[4] = {cur - 1, cur + 1, cur - w, cur + w};
+        const bool valid[4] = {cx > 0, cx < w - 1, cy > 0, cy < h - 1};
+        for (int n = 0; n < 4; ++n) {
+          if (!valid[n]) continue;
+          const int ni = neighbors[n];
+          if (mask[static_cast<std::size_t>(ni)] &&
+              !visited[static_cast<std::size_t>(ni)]) {
+            visited[static_cast<std::size_t>(ni)] = 1;
+            stack.push_back(ni);
+          }
+        }
+      }
+      blobs.push_back(b);
+    }
+  }
+  return blobs;
+}
+
+}  // namespace
+
+DetectionList ChromaDetector::detect(const video::Frame& frame) const {
+  const int w = frame.u.width;
+  const int h = frame.u.height;
+  DetectionList detections;
+
+  const struct {
+    video::ObjectClass cls;
+    const video::Plane* key;    // plane the class pushes up
+    const video::Plane* other;  // plane that must stay moderate
+  } classes[2] = {
+      {video::ObjectClass::kCar, &frame.u, &frame.v},
+      {video::ObjectClass::kPedestrian, &frame.v, &frame.u},
+  };
+
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(w) * h);
+  std::vector<std::int16_t> excess(static_cast<std::size_t>(w) * h);
+
+  for (const auto& spec : classes) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const std::size_t idx = static_cast<std::size_t>(y) * w + x;
+        const int e = static_cast<int>(spec.key->at(x, y)) - 128;
+        const bool hit = e > config_.chroma_excess_threshold &&
+                         static_cast<int>(spec.other->at(x, y)) <
+                             config_.cross_suppression;
+        mask[idx] = hit ? 1 : 0;
+        excess[idx] = static_cast<std::int16_t>(e);
+      }
+    }
+    for (const Blob& b : connected_components(mask, excess, w, h)) {
+      if (b.area < config_.min_area_chroma_px) continue;
+      Detection d;
+      d.cls = spec.cls;
+      // Chroma -> luma coordinates.
+      d.box = {2.0 * b.x0, 2.0 * b.y0, 2.0 * b.x1, 2.0 * b.y1};
+      const double mean_excess = b.excess_sum / b.area;
+      d.confidence = std::clamp(
+          (mean_excess - config_.chroma_excess_threshold) /
+              (config_.confidence_scale - config_.chroma_excess_threshold),
+          0.05, 1.0);
+      detections.push_back(d);
+    }
+  }
+
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.confidence > b.confidence;
+            });
+  return detections;
+}
+
+}  // namespace dive::edge

@@ -1,0 +1,20 @@
+#include "edge/server.h"
+
+namespace dive::edge {
+
+InferenceResult EdgeServer::process(std::span<const std::uint8_t> data,
+                                    util::SimTime arrival) {
+  InferenceResult result;
+  codec::DecodedFrame decoded = decoder_.decode(data);
+  result.decoded = std::move(decoded.frame);
+  result.detections = detector_.detect(result.decoded);
+
+  const util::SimTime jitter = util::from_millis(
+      rng_.uniform(-config_.inference_jitter_ms, config_.inference_jitter_ms));
+  result.result_at_agent = arrival + config_.decode_latency +
+                           config_.inference_latency + jitter +
+                           config_.downlink_delay;
+  return result;
+}
+
+}  // namespace dive::edge

@@ -1,0 +1,59 @@
+// Edge-server model: decode + DNN inference + downlink return, with a
+// simple latency model ("serverless edge computing" entity of Sec. II-A).
+// The server is stateful because inter frames reference its decoder state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "codec/decoder.h"
+#include "edge/detection.h"
+#include "edge/detector.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace dive::edge {
+
+struct ServerConfig {
+  util::SimTime decode_latency = util::from_millis(3.0);
+  util::SimTime inference_latency = util::from_millis(18.0);
+  double inference_jitter_ms = 2.0;  ///< uniform +- jitter
+  util::SimTime downlink_delay = util::from_millis(8.0);
+  DetectorConfig detector;
+};
+
+/// Outcome of processing one uploaded frame.
+struct InferenceResult {
+  DetectionList detections;
+  video::Frame decoded;
+  util::SimTime result_at_agent = 0;  ///< when the agent holds the answer
+};
+
+class EdgeServer {
+ public:
+  EdgeServer(ServerConfig config, std::uint64_t seed)
+      : config_(config), detector_(config.detector), rng_(seed) {}
+
+  /// Decodes an uploaded frame that arrived at `arrival`, runs the
+  /// detector, and reports when the result lands back on the agent.
+  InferenceResult process(std::span<const std::uint8_t> data,
+                          util::SimTime arrival);
+
+  /// Runs the detector only (no codec) — used for the raw-frame
+  /// ground-truth protocol and for DDS region re-inference.
+  [[nodiscard]] DetectionList infer_raw(const video::Frame& frame) const {
+    return detector_.detect(frame);
+  }
+
+  [[nodiscard]] const ChromaDetector& detector() const { return detector_; }
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+  [[nodiscard]] bool has_reference() const { return decoder_.has_reference(); }
+
+ private:
+  ServerConfig config_;
+  codec::Decoder decoder_;
+  ChromaDetector detector_;
+  util::Rng rng_;
+};
+
+}  // namespace dive::edge

@@ -1,0 +1,24 @@
+#include "geom/box.h"
+
+namespace dive::geom {
+
+double iou(const Box& a, const Box& b) {
+  const double inter = a.intersect(b).area();
+  if (inter <= 0.0) return 0.0;
+  const double uni = a.area() + b.area() - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+Box bounding_box(const std::vector<Vec2>& points) {
+  if (points.empty()) return {};
+  Box b{points[0].x, points[0].y, points[0].x, points[0].y};
+  for (const auto& p : points) {
+    b.x0 = std::min(b.x0, p.x);
+    b.y0 = std::min(b.y0, p.y);
+    b.x1 = std::max(b.x1, p.x);
+    b.y1 = std::max(b.y1, p.y);
+  }
+  return b;
+}
+
+}  // namespace dive::geom

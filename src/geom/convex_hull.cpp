@@ -1,0 +1,87 @@
+#include "geom/convex_hull.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dive::geom {
+
+namespace {
+double cross3(Vec2 o, Vec2 a, Vec2 b) { return (a - o).cross(b - o); }
+}  // namespace
+
+std::vector<Vec2> convex_hull(std::vector<Vec2> pts) {
+  std::sort(pts.begin(), pts.end(), [](Vec2 a, Vec2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const std::size_t n = pts.size();
+  if (n < 3) return pts;
+
+  std::vector<Vec2> hull(2 * n);
+  std::size_t k = 0;
+  // Lower hull.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 && cross3(hull[k - 2], hull[k - 1], pts[i]) <= 0.0) --k;
+    hull[k++] = pts[i];
+  }
+  // Upper hull.
+  for (std::size_t i = n - 1, t = k + 1; i-- > 0;) {
+    while (k >= t && cross3(hull[k - 2], hull[k - 1], pts[i]) <= 0.0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+std::vector<Vec2> sklansky_hull(const std::vector<Vec2>& polygon) {
+  const std::size_t n = polygon.size();
+  if (n < 3) return polygon;
+
+  // Determine orientation so the convexity test has a consistent sign.
+  double area2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = polygon[i];
+    const Vec2 b = polygon[(i + 1) % n];
+    area2 += a.cross(b);
+  }
+  const double sign = area2 >= 0.0 ? 1.0 : -1.0;
+
+  // Start from the leftmost-lowest vertex, which is guaranteed on the hull.
+  std::size_t start = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (polygon[i].x < polygon[start].x ||
+        (polygon[i].x == polygon[start].x && polygon[i].y < polygon[start].y))
+      start = i;
+  }
+
+  std::vector<Vec2> stack;
+  stack.reserve(n);
+  for (std::size_t step = 0; step <= n; ++step) {
+    const Vec2 p = polygon[(start + step) % n];
+    while (stack.size() >= 2 &&
+           sign * cross3(stack[stack.size() - 2], stack.back(), p) <= 0.0) {
+      stack.pop_back();
+    }
+    if (step < n) stack.push_back(p);
+  }
+  // The wrap-around step may have exposed a concavity at the seam; one
+  // final sweep from the anchor removes it.
+  while (stack.size() >= 3 &&
+         sign * cross3(stack[stack.size() - 2], stack.back(), stack[0]) <=
+             0.0) {
+    stack.pop_back();
+  }
+  return stack;
+}
+
+double polygon_area(const std::vector<Vec2>& polygon) {
+  const std::size_t n = polygon.size();
+  if (n < 3) return 0.0;
+  double area2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    area2 += polygon[i].cross(polygon[(i + 1) % n]);
+  }
+  return std::abs(area2) * 0.5;
+}
+
+}  // namespace dive::geom

@@ -1,0 +1,31 @@
+// Convex hull construction.
+//
+// The paper generates convex hulls twice: for the estimated ground region
+// and for each merged foreground cluster (Sec. III-C), citing Sklansky's
+// linear-time polygon hull. For general (unordered) macroblock point sets
+// we use Andrew's monotone chain; for already-ordered simple polygons we
+// provide Sklansky's scan, matching the paper's reference.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace dive::geom {
+
+/// Andrew's monotone chain over an unordered point set. Returns hull
+/// vertices in counter-clockwise order (in a y-down frame this appears
+/// clockwise on screen). Collinear boundary points are dropped. Degenerate
+/// inputs (<3 distinct points) return the distinct points.
+std::vector<Vec2> convex_hull(std::vector<Vec2> points);
+
+/// Sklansky's 1972 scan for a *simple polygon* given in vertex order.
+/// Runs one pass with a stack of provisional hull vertices. Input must be
+/// a simple (non self-intersecting) polygon; unordered point clouds should
+/// use convex_hull() instead.
+std::vector<Vec2> sklansky_hull(const std::vector<Vec2>& polygon);
+
+/// Area of a simple polygon (shoelace, absolute value).
+double polygon_area(const std::vector<Vec2>& polygon);
+
+}  // namespace dive::geom

@@ -1,0 +1,10 @@
+#include "geom/pinhole_camera.h"
+
+namespace dive::geom {
+
+PinholeCamera PinholeCamera::scaled_to(int new_width, int new_height) const {
+  const double scale = static_cast<double>(new_width) / width_;
+  return PinholeCamera(f_ * scale, new_width, new_height);
+}
+
+}  // namespace dive::geom

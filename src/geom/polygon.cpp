@@ -1,0 +1,62 @@
+#include "geom/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dive::geom {
+
+namespace {
+/// Distance from p to segment ab is ~0 (boundary tolerance).
+bool on_segment(Vec2 p, Vec2 a, Vec2 b, double eps = 1e-9) {
+  const Vec2 ab = b - a;
+  const Vec2 ap = p - a;
+  const double cross = ab.cross(ap);
+  if (std::abs(cross) > eps * (ab.norm() + 1.0)) return false;
+  const double dot = ap.dot(ab);
+  return dot >= -eps && dot <= ab.norm2() + eps;
+}
+}  // namespace
+
+bool point_in_polygon(Vec2 p, const std::vector<Vec2>& poly) {
+  const std::size_t n = poly.size();
+  if (n < 3) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (on_segment(p, poly[i], poly[(i + 1) % n])) return true;
+  }
+  // Even-odd ray casting along +x.
+  bool inside = false;
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Vec2 a = poly[i];
+    const Vec2 b = poly[j];
+    const bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (crosses) {
+      const double x_at = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+Box polygon_bounds(const std::vector<Vec2>& polygon) {
+  return bounding_box(polygon);
+}
+
+std::vector<std::pair<int, int>> rasterize_polygon(
+    const std::vector<Vec2>& polygon, int grid_w, int grid_h) {
+  std::vector<std::pair<int, int>> cells;
+  if (polygon.size() < 3) return cells;
+  const Box b = polygon_bounds(polygon);
+  const int cx0 = std::max(0, static_cast<int>(std::floor(b.x0)));
+  const int cy0 = std::max(0, static_cast<int>(std::floor(b.y0)));
+  const int cx1 = std::min(grid_w - 1, static_cast<int>(std::ceil(b.x1)));
+  const int cy1 = std::min(grid_h - 1, static_cast<int>(std::ceil(b.y1)));
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      const Vec2 center{cx + 0.5, cy + 0.5};
+      if (point_in_polygon(center, polygon)) cells.emplace_back(cx, cy);
+    }
+  }
+  return cells;
+}
+
+}  // namespace dive::geom

@@ -1,0 +1,28 @@
+// Point-in-polygon and polygon rasterization helpers.
+//
+// Foreground extraction tests macroblock centers against the ground
+// convex hull to find the foreground seed set S^t (Sec. III-C1), and the
+// QP assigner rasterizes object hulls into the macroblock QP offset map.
+#pragma once
+
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/vec.h"
+
+namespace dive::geom {
+
+/// True if `p` lies inside (or on the boundary of) the polygon.
+/// Even-odd crossing rule with an explicit boundary check; vertices may be
+/// in either winding order.
+bool point_in_polygon(Vec2 p, const std::vector<Vec2>& polygon);
+
+/// Bounding box of a polygon.
+Box polygon_bounds(const std::vector<Vec2>& polygon);
+
+/// Visits every integer cell (cx, cy) of a `grid_w` x `grid_h` grid whose
+/// center lies inside the polygon; returns the cell list.
+std::vector<std::pair<int, int>> rasterize_polygon(
+    const std::vector<Vec2>& polygon, int grid_w, int grid_h);
+
+}  // namespace dive::geom

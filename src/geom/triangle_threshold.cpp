@@ -1,0 +1,60 @@
+#include "geom/triangle_threshold.h"
+
+#include <cmath>
+
+namespace dive::geom {
+
+TriangleResult triangle_threshold(const util::Histogram& hist) {
+  const auto& counts = hist.counts();
+  const std::size_t bins = counts.size();
+  TriangleResult result;
+  if (bins == 0 || hist.total() == 0) return result;
+
+  const std::size_t peak = hist.peak_bin();
+  const double peak_count = static_cast<double>(counts[peak]);
+
+  // Find the farthest non-empty bin on each side; use the longer tail.
+  std::size_t lo = 0;
+  while (lo < peak && counts[lo] == 0) ++lo;
+  std::size_t hi = bins - 1;
+  while (hi > peak && counts[hi] == 0) --hi;
+
+  const bool right_tail = (hi - peak) >= (peak - lo);
+  const std::size_t tail = right_tail ? hi : lo;
+  if (tail == peak) {
+    result.bin = peak;
+    result.threshold = hist.bin_lower(peak) + hist.bin_width();
+    return result;
+  }
+
+  // Line from (peak, peak_count) to (tail, counts[tail]); pick the bin
+  // between them with maximum perpendicular distance under the line.
+  const double x0 = static_cast<double>(peak);
+  const double y0 = peak_count;
+  const double x1 = static_cast<double>(tail);
+  const double y1 = static_cast<double>(counts[tail]);
+  const double dx = x1 - x0;
+  const double dy = y1 - y0;
+  const double len = std::sqrt(dx * dx + dy * dy);
+
+  double best_dist = -1.0;
+  std::size_t best_bin = peak;
+  const std::size_t step_begin = right_tail ? peak : tail;
+  const std::size_t step_end = right_tail ? tail : peak;
+  for (std::size_t b = step_begin; b <= step_end; ++b) {
+    const double x = static_cast<double>(b);
+    const double y = static_cast<double>(counts[b]);
+    // Signed distance; bins *below* the chord have the right sign.
+    const double dist = (dy * x - dx * y + x1 * y0 - y1 * x0) / len;
+    const double below = right_tail ? dist : -dist;
+    if (below > best_dist) {
+      best_dist = below;
+      best_bin = b;
+    }
+  }
+  result.bin = best_bin;
+  result.threshold = hist.bin_lower(best_bin) + hist.bin_width();
+  return result;
+}
+
+}  // namespace dive::geom

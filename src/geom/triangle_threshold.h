@@ -1,0 +1,31 @@
+// Triangle (Zack) automatic threshold selection.
+//
+// DiVE statistically establishes the ground-magnitude threshold with the
+// Triangle method (Zack et al., 1977; Sec. III-C1 of the paper): draw a
+// line from the histogram peak to the far tail end, and place the
+// threshold at the bin with the largest perpendicular distance below that
+// line. Works well for the strongly unimodal distribution of normalized
+// ground-MV magnitudes with a long foreground/noise tail.
+#pragma once
+
+#include <cstddef>
+
+#include "util/histogram.h"
+
+namespace dive::util {
+class Histogram;
+}
+
+namespace dive::geom {
+
+struct TriangleResult {
+  std::size_t bin = 0;     ///< selected threshold bin
+  double threshold = 0.0;  ///< value at the upper edge of the threshold bin
+};
+
+/// Applies the Triangle method on the side of the peak with the longer
+/// tail. Returns the peak edge when the histogram is degenerate (empty or
+/// single-bin).
+TriangleResult triangle_threshold(const util::Histogram& hist);
+
+}  // namespace dive::geom

@@ -1,0 +1,146 @@
+#include "net/bandwidth.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dive::net {
+
+namespace {
+constexpr util::SimTime kFarFuture = std::numeric_limits<util::SimTime>::max() / 4;
+}
+
+double BandwidthTrace::bytes_between(util::SimTime t0, util::SimTime t1) const {
+  if (t1 <= t0) return 0.0;
+  double acc = 0.0;
+  util::SimTime t = t0;
+  while (t < t1) {
+    const util::SimTime seg_end = std::min(t1, next_change(t));
+    acc += bytes_per_sec(t) * util::to_seconds(seg_end - t);
+    if (seg_end <= t) break;  // defensive: a trace must make progress
+    t = seg_end;
+  }
+  return acc;
+}
+
+util::SimTime BandwidthTrace::time_to_send(util::SimTime t0, double bytes,
+                                           util::SimTime horizon) const {
+  if (bytes <= 0.0) return t0;
+  double remaining = bytes;
+  util::SimTime t = t0;
+  while (t < horizon) {
+    const util::SimTime seg_end = std::min(horizon, next_change(t));
+    const double rate = bytes_per_sec(t);
+    const double capacity = rate * util::to_seconds(seg_end - t);
+    if (capacity >= remaining && rate > 0.0) {
+      return t + static_cast<util::SimTime>(remaining / rate *
+                                            util::kMicrosPerSec);
+    }
+    remaining -= capacity;
+    if (seg_end <= t) break;
+    t = seg_end;
+  }
+  return horizon;
+}
+
+util::SimTime ConstantBandwidth::next_change(util::SimTime) const {
+  return kFarFuture;
+}
+
+SteppedBandwidth::SteppedBandwidth(std::vector<Step> steps)
+    : steps_(std::move(steps)) {
+  if (steps_.empty())
+    throw std::invalid_argument("SteppedBandwidth: no steps");
+  if (!std::is_sorted(steps_.begin(), steps_.end(),
+                      [](const Step& a, const Step& b) {
+                        return a.start < b.start;
+                      }))
+    throw std::invalid_argument("SteppedBandwidth: steps must be sorted");
+}
+
+double SteppedBandwidth::bytes_per_sec(util::SimTime t) const {
+  // Last step whose start <= t; before the first step, use the first rate.
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](util::SimTime v, const Step& s) { return v < s.start; });
+  if (it == steps_.begin()) return steps_.front().bytes_per_sec;
+  return std::prev(it)->bytes_per_sec;
+}
+
+util::SimTime SteppedBandwidth::next_change(util::SimTime t) const {
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](util::SimTime v, const Step& s) { return v < s.start; });
+  return it == steps_.end() ? kFarFuture : it->start;
+}
+
+FluctuatingBandwidth::FluctuatingBandwidth(double mean_bytes_per_sec,
+                                           double depth, util::SimTime bucket,
+                                           std::uint64_t seed)
+    : mean_(mean_bytes_per_sec), depth_(std::clamp(depth, 0.0, 1.0)),
+      bucket_(bucket), seed_(seed) {
+  if (bucket_ <= 0)
+    throw std::invalid_argument("FluctuatingBandwidth: bucket must be > 0");
+}
+
+double FluctuatingBandwidth::bytes_per_sec(util::SimTime t) const {
+  const auto bucket_index =
+      static_cast<std::uint64_t>(t >= 0 ? t / bucket_ : 0);
+  // SplitMix64 of (seed, bucket) -> uniform in [-1, 1).
+  std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ULL * (bucket_index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z = z ^ (z >> 31);
+  const double u =
+      static_cast<double>(z >> 11) / static_cast<double>(1ULL << 53);
+  return mean_ * (1.0 + depth_ * (2.0 * u - 1.0));
+}
+
+util::SimTime FluctuatingBandwidth::next_change(util::SimTime t) const {
+  if (t < 0) return 0;
+  return (t / bucket_ + 1) * bucket_;
+}
+
+OutageBandwidth::OutageBandwidth(std::shared_ptr<const BandwidthTrace> base,
+                                 std::vector<Outage> outages)
+    : base_(std::move(base)), outages_(std::move(outages)) {
+  if (base_ == nullptr)
+    throw std::invalid_argument("OutageBandwidth: null base trace");
+  std::sort(outages_.begin(), outages_.end(),
+            [](const Outage& a, const Outage& b) { return a.start < b.start; });
+}
+
+std::vector<OutageBandwidth::Outage> OutageBandwidth::periodic(
+    util::SimTime first_start, util::SimTime interval, util::SimTime duration,
+    util::SimTime until) {
+  std::vector<Outage> out;
+  for (util::SimTime s = first_start; s < until; s += interval) {
+    out.push_back({s, s + duration});
+  }
+  return out;
+}
+
+double OutageBandwidth::bytes_per_sec(util::SimTime t) const {
+  for (const auto& o : outages_) {
+    if (t >= o.start && t < o.end) return 0.0;
+    if (o.start > t) break;
+  }
+  return base_->bytes_per_sec(t);
+}
+
+util::SimTime OutageBandwidth::next_change(util::SimTime t) const {
+  util::SimTime next = base_->next_change(t);
+  for (const auto& o : outages_) {
+    if (o.start > t) {
+      next = std::min(next, o.start);
+      break;
+    }
+    if (t >= o.start && t < o.end) {
+      next = std::min(next, o.end);
+      break;
+    }
+  }
+  return next;
+}
+
+}  // namespace dive::net

@@ -1,0 +1,116 @@
+// Uplink bandwidth traces — the "dynamic uplink" of the problem statement
+// (Sec. II-A) and the controlled scenarios of the evaluation: constant
+// rates 1..5 Mbps (Fig. 11/16/17), fluctuating cellular-style links, and
+// periodic 1 s outages (Fig. 13).
+//
+// Traces are piecewise-constant functions of simulated time, which keeps
+// byte integrals exact and transmission-completion queries fast.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/sim_clock.h"
+
+namespace dive::net {
+
+/// Bits per second helper (the paper quotes Mbps everywhere).
+constexpr double mbps_to_bytes_per_sec(double mbps) {
+  return mbps * 1'000'000.0 / 8.0;
+}
+
+/// A piecewise-constant uplink rate profile.
+class BandwidthTrace {
+ public:
+  virtual ~BandwidthTrace() = default;
+
+  /// Instantaneous rate at time t, bytes/second.
+  [[nodiscard]] virtual double bytes_per_sec(util::SimTime t) const = 0;
+
+  /// First time strictly greater than t at which the rate may change.
+  /// Used to integrate exactly across segments.
+  [[nodiscard]] virtual util::SimTime next_change(util::SimTime t) const = 0;
+
+  /// Exact integral of the rate over [t0, t1), bytes.
+  [[nodiscard]] double bytes_between(util::SimTime t0, util::SimTime t1) const;
+
+  /// Earliest completion time for `bytes` of data starting at t0.
+  /// Returns `horizon` if the data cannot finish before then.
+  [[nodiscard]] util::SimTime time_to_send(util::SimTime t0, double bytes,
+                                           util::SimTime horizon) const;
+};
+
+/// Fixed-rate link.
+class ConstantBandwidth final : public BandwidthTrace {
+ public:
+  explicit ConstantBandwidth(double bytes_per_sec) : rate_(bytes_per_sec) {}
+  [[nodiscard]] double bytes_per_sec(util::SimTime) const override {
+    return rate_;
+  }
+  [[nodiscard]] util::SimTime next_change(util::SimTime t) const override;
+
+ private:
+  double rate_;
+};
+
+/// Explicit step schedule: rate i applies from steps[i].start until the
+/// next step (the first step should start at or before 0).
+class SteppedBandwidth final : public BandwidthTrace {
+ public:
+  struct Step {
+    util::SimTime start;
+    double bytes_per_sec;
+  };
+  explicit SteppedBandwidth(std::vector<Step> steps);
+  [[nodiscard]] double bytes_per_sec(util::SimTime t) const override;
+  [[nodiscard]] util::SimTime next_change(util::SimTime t) const override;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+/// Deterministic pseudo-random fluctuation around a mean: the rate is
+/// re-drawn per `bucket` interval from [mean*(1-depth), mean*(1+depth)]
+/// using a hash of the bucket index. Models cellular-rate churn while
+/// staying bit-reproducible.
+class FluctuatingBandwidth final : public BandwidthTrace {
+ public:
+  FluctuatingBandwidth(double mean_bytes_per_sec, double depth,
+                       util::SimTime bucket, std::uint64_t seed);
+  [[nodiscard]] double bytes_per_sec(util::SimTime t) const override;
+  [[nodiscard]] util::SimTime next_change(util::SimTime t) const override;
+
+ private:
+  double mean_;
+  double depth_;
+  util::SimTime bucket_;
+  std::uint64_t seed_;
+};
+
+/// Wraps a base trace with total outages (rate 0) during given intervals —
+/// the Fig. 13 scenario: 1 s interruptions every 5..20 s.
+class OutageBandwidth final : public BandwidthTrace {
+ public:
+  struct Outage {
+    util::SimTime start;
+    util::SimTime end;
+  };
+  OutageBandwidth(std::shared_ptr<const BandwidthTrace> base,
+                  std::vector<Outage> outages);
+
+  /// Convenience: outages of `duration` every `interval`, starting at
+  /// `first_start`, repeated until `until`.
+  static std::vector<Outage> periodic(util::SimTime first_start,
+                                      util::SimTime interval,
+                                      util::SimTime duration,
+                                      util::SimTime until);
+
+  [[nodiscard]] double bytes_per_sec(util::SimTime t) const override;
+  [[nodiscard]] util::SimTime next_change(util::SimTime t) const override;
+
+ private:
+  std::shared_ptr<const BandwidthTrace> base_;
+  std::vector<Outage> outages_;  // sorted, non-overlapping
+};
+
+}  // namespace dive::net

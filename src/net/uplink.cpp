@@ -1,0 +1,46 @@
+#include "net/uplink.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dive::net {
+
+Uplink::Uplink(std::shared_ptr<const BandwidthTrace> trace,
+               UplinkConfig config)
+    : trace_(std::move(trace)), config_(config) {
+  if (trace_ == nullptr) throw std::invalid_argument("Uplink: null trace");
+}
+
+TransmitResult Uplink::transmit(double bytes, util::SimTime enqueue_time) {
+  const util::SimTime start = std::max(enqueue_time, busy_until_);
+  // A generous horizon: nothing in the evaluation waits more than minutes.
+  const util::SimTime horizon = start + 600 * util::kMicrosPerSec;
+  const util::SimTime complete = trace_->time_to_send(start, bytes, horizon);
+  busy_until_ = complete;
+  return {true, start, complete, complete + config_.propagation_delay, 0};
+}
+
+TransmitResult Uplink::transmit_with_timeout(double bytes,
+                                             util::SimTime enqueue_time) {
+  const util::SimTime head_time = std::max(enqueue_time, busy_until_);
+  const util::SimTime deadline = head_time + config_.head_timeout;
+  const util::SimTime complete =
+      trace_->time_to_send(head_time, bytes, deadline + 1);
+  if (complete > deadline) {
+    TransmitResult r;
+    r.delivered = false;
+    r.started = head_time;
+    r.gave_up_at = deadline;
+    // Dropped frame: the radio is idle again from the moment we gave up.
+    busy_until_ = std::max(busy_until_, deadline);
+    return r;
+  }
+  busy_until_ = complete;
+  return {true, head_time, complete, complete + config_.propagation_delay, 0};
+}
+
+double Uplink::capacity_between(util::SimTime t0, util::SimTime t1) const {
+  return trace_->bytes_between(t0, t1);
+}
+
+}  // namespace dive::net

@@ -1,0 +1,35 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dive::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (bins == 0) throw std::invalid_argument("Histogram needs >= 1 bin");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram needs hi > lo");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<long>((x - lo_) / width_);
+  idx = std::clamp(idx, 0L, static_cast<long>(counts_.size()) - 1L);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::bin_lower(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+std::size_t Histogram::peak_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+}  // namespace dive::util

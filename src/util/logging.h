@@ -1,0 +1,42 @@
+// Minimal leveled logging. Kept deliberately small: the library is used
+// inside tight per-frame loops, so logging must be cheap when disabled.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dive::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr with a level prefix (no-op below threshold).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace dive::util
+
+#define DIVE_LOG(level) ::dive::util::detail::LogMessage(level)
+#define DIVE_LOG_DEBUG DIVE_LOG(::dive::util::LogLevel::kDebug)
+#define DIVE_LOG_INFO DIVE_LOG(::dive::util::LogLevel::kInfo)
+#define DIVE_LOG_WARN DIVE_LOG(::dive::util::LogLevel::kWarn)
+#define DIVE_LOG_ERROR DIVE_LOG(::dive::util::LogLevel::kError)

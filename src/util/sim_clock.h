@@ -1,0 +1,57 @@
+// Simulated wall clock shared by the network, agent, and edge models.
+//
+// All DiVE timing experiments (response time, bandwidth estimation windows,
+// link-outage timers) run against simulated time so that results are
+// deterministic and independent of host load.
+#pragma once
+
+#include <cstdint>
+
+namespace dive::util {
+
+/// Simulation time in microseconds. Signed to make interval arithmetic safe.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicrosPerMilli = 1'000;
+constexpr SimTime kMicrosPerSec = 1'000'000;
+
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosPerSec);
+}
+constexpr double to_millis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosPerMilli);
+}
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kMicrosPerSec));
+}
+constexpr SimTime from_millis(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMicrosPerMilli));
+}
+
+/// A monotonically advancing simulated clock.
+///
+/// The experiment harness owns one SimClock and advances it as frames are
+/// captured, encoded, transmitted, and inferred. Components hold a pointer
+/// and may only read it.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(SimTime start) : now_(start) {}
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Advance the clock by `delta` microseconds. `delta` must be >= 0.
+  void advance(SimTime delta) {
+    if (delta > 0) now_ += delta;
+  }
+
+  /// Jump to an absolute time; never moves backwards.
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace dive::util

@@ -1,0 +1,36 @@
+// Plain-text table / CSV emitters for the benchmark harness. Every paper
+// table and figure is reproduced as rows printed by a bench binary; this
+// keeps the formatting consistent.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dive::util {
+
+/// A simple column-aligned text table with an optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_pct(double v, int precision = 1);  ///< 0.391 -> "39.1%"
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dive::util

@@ -1,0 +1,5 @@
+#include "video/frame.h"
+
+// Frame is a plain value type; all behaviour lives in the header. This TU
+// exists so the library has a stable home for future out-of-line helpers.
+namespace dive::video {}

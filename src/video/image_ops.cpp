@@ -1,0 +1,90 @@
+#include "video/image_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dive::video {
+
+double plane_mse(const Plane& a, const Plane& b) {
+  if (a.width != b.width || a.height != b.height)
+    throw std::invalid_argument("plane_mse: dimension mismatch");
+  if (a.data.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    const double d = static_cast<double>(a.data[i]) - b.data[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.data.size());
+}
+
+namespace {
+double mse_to_psnr(double mse) {
+  if (mse <= 1e-12) return 100.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+}  // namespace
+
+double psnr_y(const Frame& a, const Frame& b) {
+  return mse_to_psnr(plane_mse(a.y, b.y));
+}
+
+double psnr_yuv(const Frame& a, const Frame& b) {
+  const double total = static_cast<double>(a.y.size() + a.u.size() + a.v.size());
+  const double mse = (plane_mse(a.y, b.y) * static_cast<double>(a.y.size()) +
+                      plane_mse(a.u, b.u) * static_cast<double>(a.u.size()) +
+                      plane_mse(a.v, b.v) * static_cast<double>(a.v.size())) /
+                     total;
+  return mse_to_psnr(mse);
+}
+
+double mean_abs_diff_y(const Frame& a, const Frame& b) {
+  if (a.width() != b.width() || a.height() != b.height())
+    throw std::invalid_argument("mean_abs_diff_y: dimension mismatch");
+  if (a.y.data.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.y.data.size(); ++i) {
+    acc += std::abs(static_cast<int>(a.y.data[i]) - static_cast<int>(b.y.data[i]));
+  }
+  return acc / static_cast<double>(a.y.data.size());
+}
+
+double region_mean(const Plane& p, int x0, int y0, int x1, int y1) {
+  x0 = std::clamp(x0, 0, p.width);
+  x1 = std::clamp(x1, 0, p.width);
+  y0 = std::clamp(y0, 0, p.height);
+  y1 = std::clamp(y1, 0, p.height);
+  if (x1 <= x0 || y1 <= y0) return 0.0;
+  double acc = 0.0;
+  for (int y = y0; y < y1; ++y)
+    for (int x = x0; x < x1; ++x) acc += p.at(x, y);
+  return acc / (static_cast<double>(x1 - x0) * (y1 - y0));
+}
+
+void draw_box(Frame& frame, const geom::Box& box, std::uint8_t luma) {
+  const auto clipped = box.clipped(frame.width(), frame.height());
+  const int x0 = static_cast<int>(clipped.x0);
+  const int y0 = static_cast<int>(clipped.y0);
+  const int x1 = std::max(x0, static_cast<int>(clipped.x1) - 1);
+  const int y1 = std::max(y0, static_cast<int>(clipped.y1) - 1);
+  if (clipped.empty()) return;
+  for (int x = x0; x <= x1; ++x) {
+    frame.y.at(x, y0) = luma;
+    frame.y.at(x, y1) = luma;
+  }
+  for (int y = y0; y <= y1; ++y) {
+    frame.y.at(x0, y) = luma;
+    frame.y.at(x1, y) = luma;
+  }
+}
+
+std::string to_pgm(const Plane& p) {
+  std::ostringstream os;
+  os << "P5\n" << p.width << " " << p.height << "\n255\n";
+  os.write(reinterpret_cast<const char*>(p.data.data()),
+           static_cast<std::streamsize>(p.data.size()));
+  return os.str();
+}
+
+}  // namespace dive::video

@@ -1,0 +1,108 @@
+#include "video/scene.h"
+
+#include <cmath>
+
+namespace dive::video {
+
+const char* to_string(ObjectClass cls) {
+  switch (cls) {
+    case ObjectClass::kCar: return "car";
+    case ObjectClass::kPedestrian: return "pedestrian";
+    case ObjectClass::kBuilding: return "building";
+  }
+  return "?";
+}
+
+void Scene::add_buildings(double z_min, double z_max, util::Rng& rng) {
+  for (int side = -1; side <= 1; side += 2) {
+    double z = z_min + rng.uniform(0.0, 8.0);
+    while (z < z_max) {
+      const double depth = rng.uniform(6.0, 14.0);
+      // Leave occasional gaps (cross streets).
+      if (rng.chance(0.8)) {
+        SceneObject b;
+        b.cls = ObjectClass::kBuilding;
+        const double height = rng.uniform(5.0, 16.0);
+        const double width = rng.uniform(3.0, 6.0);
+        b.half = {width / 2.0, height / 2.0, depth / 2.0};
+        const double x = side * rng.uniform(params_.building_band_near + width,
+                                            params_.building_band_far);
+        b.track.base_xz = {x, z + depth / 2.0};
+        b.track.heading = 0.0;
+        b.appearance_seed = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 30));
+        objects_.push_back(b);
+      }
+      z += depth + rng.uniform(1.0, 6.0);
+    }
+  }
+}
+
+namespace {
+SceneObject make_car(util::Rng& rng) {
+  SceneObject c;
+  c.cls = ObjectClass::kCar;
+  c.half = {rng.uniform(0.85, 1.0), rng.uniform(0.7, 0.85),
+            rng.uniform(2.0, 2.5)};
+  c.appearance_seed = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 30));
+  return c;
+}
+
+SceneObject make_pedestrian(util::Rng& rng) {
+  SceneObject p;
+  p.cls = ObjectClass::kPedestrian;
+  p.half = {rng.uniform(0.22, 0.3), rng.uniform(0.78, 0.92),
+            rng.uniform(0.22, 0.3)};
+  p.appearance_seed = static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 30));
+  return p;
+}
+}  // namespace
+
+void Scene::add_parked_cars(int count, double z_min, double z_max,
+                            util::Rng& rng) {
+  for (int i = 0; i < count; ++i) {
+    SceneObject c = make_car(rng);
+    const double side = rng.chance(0.5) ? 1.0 : -1.0;
+    c.track.base_xz = {side * (params_.road_half_width - 1.2),
+                       rng.uniform(z_min, z_max)};
+    c.track.velocity_xz = {};
+    c.track.heading = rng.chance(0.9) ? 0.0 : 3.14159265;
+    objects_.push_back(c);
+  }
+}
+
+void Scene::add_moving_cars(int count, double z_min, double z_max,
+                            util::Rng& rng) {
+  for (int i = 0; i < count; ++i) {
+    SceneObject c = make_car(rng);
+    const bool oncoming = rng.chance(0.4);
+    const double lane_x = oncoming ? -params_.lane_width / 2.0 - 0.2
+                                   : params_.lane_width / 2.0 + 0.2;
+    const double speed = rng.uniform(4.0, 14.0) * (oncoming ? -1.0 : 1.0);
+    c.track.base_xz = {lane_x + rng.uniform(-0.3, 0.3),
+                       rng.uniform(z_min, z_max)};
+    c.track.velocity_xz = {0.0, speed};
+    objects_.push_back(c);
+  }
+}
+
+void Scene::add_pedestrians(int count, double z_min, double z_max,
+                            util::Rng& rng) {
+  for (int i = 0; i < count; ++i) {
+    SceneObject p = make_pedestrian(rng);
+    const double side = rng.chance(0.5) ? 1.0 : -1.0;
+    const double z = rng.uniform(z_min, z_max);
+    if (rng.chance(0.25)) {
+      // Road crosser.
+      p.track.base_xz = {side * (params_.road_half_width + 0.5), z};
+      p.track.velocity_xz = {-side * rng.uniform(0.8, 1.6), 0.0};
+    } else {
+      // Sidewalk walker (either direction along z).
+      p.track.base_xz = {side * (params_.road_half_width + rng.uniform(0.3, 1.5)),
+                         z};
+      p.track.velocity_xz = {0.0, rng.uniform(-1.5, 1.5)};
+    }
+    objects_.push_back(p);
+  }
+}
+
+}  // namespace dive::video

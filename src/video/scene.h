@@ -1,0 +1,86 @@
+// Procedural 3-D driving scene: textured ground plane with lane markings,
+// roadside buildings, parked/moving cars, and pedestrians. The renderer
+// ray-casts this model to produce the synthetic stand-in for the
+// nuScenes / RobotCar / KITTI footage the paper evaluates on (see
+// DESIGN.md, substitution table).
+//
+// Object classes carry distinctive chroma signatures that the edge
+// detector keys on (src/edge/detector.h); codec quantization genuinely
+// erodes those signatures, which is what makes AP respond to encoding
+// quality the way the paper's DNN does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec.h"
+#include "util/rng.h"
+#include "video/trajectory.h"
+
+namespace dive::video {
+
+enum class ObjectClass : std::uint8_t { kCar = 0, kPedestrian = 1, kBuilding = 2 };
+
+/// Number of *detectable* classes (car, pedestrian).
+constexpr int kNumDetectableClasses = 2;
+
+const char* to_string(ObjectClass cls);
+
+/// An oriented box standing on the ground plane, following an ObjectTrack.
+struct SceneObject {
+  ObjectClass cls = ObjectClass::kCar;
+  geom::Vec3 half;        ///< half extents: x (width), y (height), z (length)
+  ObjectTrack track;
+  std::uint32_t appearance_seed = 0;  ///< texture/body-tone variation
+
+  /// Object center in world coordinates at time t (y-down: center sits at
+  /// -half.y so the box rests on the ground plane Y = 0).
+  [[nodiscard]] geom::Vec3 center_at(double t) const {
+    const geom::Vec2 p = track.position_at(t);
+    return {p.x, -half.y, p.y};
+  }
+  [[nodiscard]] double yaw_at(double t) const { return track.heading_at(t); }
+};
+
+/// Road/texture parameters shared by the material shaders.
+struct SceneParams {
+  double road_half_width = 6.0;   ///< meters; |x| < this is asphalt
+  double lane_width = 3.5;
+  double building_band_near = 8.0;
+  double building_band_far = 18.0;
+  double luma_noise_amplitude = 1.5;  ///< per-pixel sensor noise (DN)
+  double texture_scale = 0.35;        ///< meters per texture-noise cell
+  /// Fraction of the ground with suppressed texture (plain patches that
+  /// yield the noisy motion vectors called out in Sec. II-C).
+  double plain_patch_fraction = 0.35;
+};
+
+class Scene {
+ public:
+  explicit Scene(SceneParams params = {}) : params_(params) {}
+
+  void add_object(SceneObject obj) { objects_.push_back(std::move(obj)); }
+
+  [[nodiscard]] const std::vector<SceneObject>& objects() const {
+    return objects_;
+  }
+  [[nodiscard]] const SceneParams& params() const { return params_; }
+
+  /// Populates roadside buildings over z in [z_min, z_max].
+  void add_buildings(double z_min, double z_max, util::Rng& rng);
+
+  /// Adds `count` parked cars on the road shoulders over the z range.
+  void add_parked_cars(int count, double z_min, double z_max, util::Rng& rng);
+
+  /// Adds `count` cars driving in lanes (mixed directions/speeds).
+  void add_moving_cars(int count, double z_min, double z_max, util::Rng& rng);
+
+  /// Adds `count` pedestrians on sidewalks / crossing the road.
+  void add_pedestrians(int count, double z_min, double z_max, util::Rng& rng);
+
+ private:
+  SceneParams params_;
+  std::vector<SceneObject> objects_;
+};
+
+}  // namespace dive::video

@@ -1,0 +1,106 @@
+#include "video/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace dive::video {
+
+EgoTrajectory::EgoTrajectory(std::vector<MotionSegment> segments,
+                             double camera_height, double initial_speed,
+                             PitchWobble wobble)
+    : camera_height_(camera_height), wobble_(wobble) {
+  for (const auto& s : segments) total_duration_ += s.duration;
+
+  // Forward-integrate the unicycle model at dt_ resolution.
+  Sample cur{};
+  cur.speed = std::max(0.0, initial_speed);
+  samples_.reserve(static_cast<std::size_t>(total_duration_ / dt_) + 2);
+  samples_.push_back(cur);
+
+  double seg_t = 0.0;
+  std::size_t seg_i = 0;
+  const std::size_t steps = static_cast<std::size_t>(total_duration_ / dt_);
+  for (std::size_t step = 0; step < steps; ++step) {
+    while (seg_i < segments.size() && seg_t >= segments[seg_i].duration) {
+      seg_t -= segments[seg_i].duration;
+      ++seg_i;
+    }
+    const MotionSegment seg =
+        seg_i < segments.size() ? segments[seg_i] : MotionSegment{};
+    cur.accel = seg.accel;
+    cur.yaw_rate = cur.speed > 1e-3 || seg.accel > 0.0 ? seg.yaw_rate : 0.0;
+    // Integrate position with the state at the start of the step.
+    cur.pos_xz.x += cur.speed * std::sin(cur.yaw) * dt_;
+    cur.pos_xz.y += cur.speed * std::cos(cur.yaw) * dt_;
+    cur.yaw += cur.yaw_rate * dt_;
+    cur.speed = std::max(0.0, cur.speed + seg.accel * dt_);
+    if (cur.speed == 0.0 && seg.accel <= 0.0) cur.accel = 0.0;
+    seg_t += dt_;
+    samples_.push_back(cur);
+  }
+}
+
+EgoState EgoTrajectory::state_at(double t) const {
+  t = std::clamp(t, 0.0, total_duration_);
+  const double pos = t / dt_;
+  const auto lo = std::min(static_cast<std::size_t>(pos), samples_.size() - 1);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  auto lerp = [frac](double a, double b) { return a * (1.0 - frac) + b * frac; };
+
+  const Sample& a = samples_[lo];
+  const Sample& b = samples_[hi];
+  EgoState st;
+  st.position = {lerp(a.pos_xz.x, b.pos_xz.x), -camera_height_,
+                 lerp(a.pos_xz.y, b.pos_xz.y)};
+  st.yaw = lerp(a.yaw, b.yaw);
+  st.speed = lerp(a.speed, b.speed);
+  st.yaw_rate = lerp(a.yaw_rate, b.yaw_rate);
+  st.accel = lerp(a.accel, b.accel);
+
+  // Pitch wobble rides on top, scaled by speed so a parked vehicle is
+  // still. The wobble models road-surface excitation.
+  const double speed_gate = std::min(1.0, st.speed / 3.0);
+  const double omega = 2.0 * std::numbers::pi * wobble_.frequency;
+  st.pitch = wobble_.amplitude * speed_gate * std::sin(omega * t + wobble_.phase);
+  st.pitch_rate =
+      wobble_.amplitude * speed_gate * omega * std::cos(omega * t + wobble_.phase);
+  return st;
+}
+
+EgoTrajectory EgoTrajectory::straight(double speed, double duration,
+                                      double camera_height) {
+  return EgoTrajectory({{duration, 0.0, 0.0}}, camera_height, speed);
+}
+
+EgoTrajectory EgoTrajectory::stop_and_go(double speed, double drive_s,
+                                         double brake_s, double dwell_s,
+                                         double accel_s, double tail_s,
+                                         double camera_height) {
+  const double decel = brake_s > 0.0 ? -speed / brake_s : 0.0;
+  const double accel = accel_s > 0.0 ? speed / accel_s : 0.0;
+  return EgoTrajectory({{drive_s, 0.0, 0.0},
+                        {brake_s, decel, 0.0},
+                        {dwell_s, 0.0, 0.0},
+                        {accel_s, accel, 0.0},
+                        {tail_s, 0.0, 0.0}},
+                       camera_height, speed);
+}
+
+EgoTrajectory EgoTrajectory::with_turn(double speed, double lead_s,
+                                       double turn_deg, double turn_s,
+                                       double tail_s, double camera_height) {
+  const double yaw_rate =
+      turn_s > 0.0 ? turn_deg * std::numbers::pi / 180.0 / turn_s : 0.0;
+  return EgoTrajectory({{lead_s, 0.0, 0.0},
+                        {turn_s, 0.0, yaw_rate},
+                        {tail_s, 0.0, 0.0}},
+                       camera_height, speed);
+}
+
+EgoTrajectory EgoTrajectory::parked(double duration, double camera_height) {
+  return EgoTrajectory({{duration, 0.0, 0.0}}, camera_height, 0.0);
+}
+
+}  // namespace dive::video

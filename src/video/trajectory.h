@@ -1,0 +1,112 @@
+// Ego-vehicle trajectories and scene-object tracks.
+//
+// World frame (see geom/pinhole_camera.h): x right, y DOWN, z forward.
+// The ground plane is Y = 0; the camera rides at Y = -camera_height.
+//
+// An EgoTrajectory is a sequence of constant-(accel, yaw-rate) segments —
+// enough to express the paper's three motion states (static, moving
+// straight, turning; Fig. 14) and stop-and-go profiles (Fig. 6b). A small
+// sinusoidal pitch wobble models road-surface excitation so that the
+// pitch-rate ωx estimated by DiVE's preprocessing has a nonzero ground
+// truth (Fig. 7a).
+#pragma once
+
+#include <vector>
+
+#include "geom/pinhole_camera.h"
+#include "geom/vec.h"
+
+namespace dive::video {
+
+/// One constant-control piece of an ego trajectory.
+struct MotionSegment {
+  double duration = 0.0;  ///< seconds
+  double accel = 0.0;     ///< longitudinal acceleration, m/s^2
+  double yaw_rate = 0.0;  ///< rad/s (positive = turning toward +x)
+};
+
+/// Ego state at a queried time.
+struct EgoState {
+  geom::Vec3 position;   ///< camera position (world, y-down)
+  double yaw = 0.0;      ///< heading, radians
+  double pitch = 0.0;    ///< pitch wobble, radians
+  double speed = 0.0;    ///< m/s (>= 0; clamped at 0 when decelerating)
+  double yaw_rate = 0.0; ///< rad/s at this instant
+  double pitch_rate = 0.0;
+  double accel = 0.0;
+
+  [[nodiscard]] geom::CameraPose camera_pose() const {
+    return {position, pitch, yaw};
+  }
+  [[nodiscard]] bool is_stopped(double eps = 0.05) const { return speed < eps; }
+};
+
+/// Amplitude/frequency of the pitch wobble.
+struct PitchWobble {
+  double amplitude = 0.0025;  ///< radians (~0.14 deg)
+  double frequency = 1.3;     ///< Hz
+  double phase = 0.0;
+};
+
+class EgoTrajectory {
+ public:
+  /// `camera_height` meters above ground; `initial_speed` m/s.
+  EgoTrajectory(std::vector<MotionSegment> segments, double camera_height,
+                double initial_speed, PitchWobble wobble = {});
+
+  [[nodiscard]] EgoState state_at(double t) const;
+  [[nodiscard]] double total_duration() const { return total_duration_; }
+  [[nodiscard]] double camera_height() const { return camera_height_; }
+
+  // ---- Canonical profiles used by the dataset generators ----
+
+  /// Constant-speed straight drive.
+  static EgoTrajectory straight(double speed, double duration,
+                                double camera_height = 1.5);
+  /// Drive, brake to a stop, dwell, accelerate back to speed (Fig. 6b).
+  static EgoTrajectory stop_and_go(double speed, double drive_s, double brake_s,
+                                   double dwell_s, double accel_s,
+                                   double tail_s, double camera_height = 1.5);
+  /// Straight, then a turn of `turn_deg` over `turn_s`, then straight.
+  static EgoTrajectory with_turn(double speed, double lead_s, double turn_deg,
+                                 double turn_s, double tail_s,
+                                 double camera_height = 1.5);
+  /// Fully stopped.
+  static EgoTrajectory parked(double duration, double camera_height = 1.5);
+
+ private:
+  // Sampled forward-integrated states at fixed dt, linearly interpolated.
+  struct Sample {
+    geom::Vec2 pos_xz;
+    double yaw;
+    double speed;
+    double yaw_rate;
+    double accel;
+  };
+
+  std::vector<Sample> samples_;
+  double dt_ = 1e-3;
+  double total_duration_ = 0.0;
+  double camera_height_ = 1.5;
+  PitchWobble wobble_;
+};
+
+/// Track of a dynamic (or parked) scene object. Objects translate with a
+/// constant velocity in the ground plane; heading follows velocity for
+/// movers and is fixed for parked objects.
+struct ObjectTrack {
+  geom::Vec2 base_xz;      ///< ground-contact reference point at t = 0
+  geom::Vec2 velocity_xz;  ///< m/s
+  double heading = 0.0;    ///< used when the object is (near) stationary
+
+  [[nodiscard]] geom::Vec2 position_at(double t) const {
+    return base_xz + velocity_xz * t;
+  }
+  [[nodiscard]] double heading_at(double) const {
+    const double v = velocity_xz.norm();
+    return v > 0.1 ? std::atan2(velocity_xz.x, velocity_xz.y) : heading;
+  }
+  [[nodiscard]] bool moving() const { return velocity_xz.norm() > 0.1; }
+};
+
+}  // namespace dive::video

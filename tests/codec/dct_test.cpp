@@ -1,0 +1,92 @@
+#include "codec/dct.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dive::codec {
+namespace {
+
+TEST(Dct, RoundTripIsIdentity) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Block8x8 input;
+    for (auto& v : input) v = rng.uniform(-128, 128);
+    Block8x8 coeffs, output;
+    forward_dct(input, coeffs);
+    inverse_dct(coeffs, output);
+    for (int i = 0; i < 64; ++i)
+      EXPECT_NEAR(output[static_cast<std::size_t>(i)],
+                  input[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(Dct, ConstantBlockIsPureDc) {
+  Block8x8 input;
+  input.fill(50.0);
+  Block8x8 coeffs;
+  forward_dct(input, coeffs);
+  // Orthonormal DCT: DC = 8 * mean.
+  EXPECT_NEAR(coeffs[0], 400.0, 1e-9);
+  for (int i = 1; i < 64; ++i)
+    EXPECT_NEAR(coeffs[static_cast<std::size_t>(i)], 0.0, 1e-9);
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  util::Rng rng(5);
+  Block8x8 input;
+  for (auto& v : input) v = rng.uniform(-100, 100);
+  Block8x8 coeffs;
+  forward_dct(input, coeffs);
+  double e_in = 0, e_out = 0;
+  for (int i = 0; i < 64; ++i) {
+    e_in += input[static_cast<std::size_t>(i)] * input[static_cast<std::size_t>(i)];
+    e_out += coeffs[static_cast<std::size_t>(i)] * coeffs[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(e_in, e_out, 1e-6);
+}
+
+TEST(Dct, HorizontalCosineHitsSingleBin) {
+  // input(x) = cos((2x+1) * u0 * pi / 16) excites exactly coefficient u0.
+  const int u0 = 3;
+  Block8x8 input;
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      input[static_cast<std::size_t>(y * 8 + x)] =
+          std::cos((2.0 * x + 1.0) * u0 * M_PI / 16.0);
+  Block8x8 coeffs;
+  forward_dct(input, coeffs);
+  for (int v = 0; v < 8; ++v)
+    for (int u = 0; u < 8; ++u) {
+      const double c = coeffs[static_cast<std::size_t>(v * 8 + u)];
+      if (u == u0 && v == 0) {
+        EXPECT_GT(std::abs(c), 1.0);
+      } else {
+        EXPECT_NEAR(c, 0.0, 1e-9);
+      }
+    }
+}
+
+TEST(Dct, Linearity) {
+  util::Rng rng(9);
+  Block8x8 a, b, sum;
+  for (int i = 0; i < 64; ++i) {
+    a[static_cast<std::size_t>(i)] = rng.uniform(-50, 50);
+    b[static_cast<std::size_t>(i)] = rng.uniform(-50, 50);
+    sum[static_cast<std::size_t>(i)] =
+        a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)];
+  }
+  Block8x8 ca, cb, cs;
+  forward_dct(a, ca);
+  forward_dct(b, cb);
+  forward_dct(sum, cs);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_NEAR(cs[static_cast<std::size_t>(i)],
+                ca[static_cast<std::size_t>(i)] + cb[static_cast<std::size_t>(i)],
+                1e-9);
+}
+
+}  // namespace
+}  // namespace dive::codec

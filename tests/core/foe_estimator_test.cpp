@@ -1,0 +1,109 @@
+#include "core/foe_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/motion_model.h"
+#include "util/rng.h"
+
+namespace dive::core {
+namespace {
+
+const geom::PinholeCamera kCamera(400.0, 512, 288);
+
+/// Radial expansion field around a given FOE, over ground+wall depths.
+codec::MotionField expansion_field(geom::Vec2 foe, double dz,
+                                   util::Rng* noise = nullptr,
+                                   double outlier_fraction = 0.0) {
+  codec::MotionField field(32, 18);
+  for (int row = 0; row < 18; ++row)
+    for (int col = 0; col < 32; ++col) {
+      const geom::Vec2 p = kCamera.to_centered(field.mb_center(col, row));
+      const geom::Vec2 rel = p - foe;
+      const double depth = rel.y > 4.0 ? 400.0 * 1.5 / rel.y : 25.0;
+      geom::Vec2 mv = translational_mv(rel, dz, depth);
+      if (noise != nullptr && noise->chance(outlier_fraction))
+        mv = {noise->uniform(-10, 10), noise->uniform(-10, 10)};
+      field.at(col, row) = {static_cast<int>(std::lround(mv.x * 2)),
+                            static_cast<int>(std::lround(mv.y * 2))};
+    }
+  return field;
+}
+
+TEST(FoeEstimator, FindsCenteredFoe) {
+  FoeEstimator est({}, 1);
+  const auto result = est.estimate(expansion_field({0, 0}, 1.2), kCamera);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->foe.x, 0.0, 5.0);
+  EXPECT_NEAR(result->foe.y, 0.0, 5.0);
+}
+
+TEST(FoeEstimator, FindsOffsetFoe) {
+  // A camera mounted at a slight angle: the FOE sits off-center.
+  FoeEstimator est({}, 2);
+  const geom::Vec2 truth{40.0, -12.0};
+  const auto result = est.estimate(expansion_field(truth, 1.2), kCamera);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->foe.x, truth.x, 6.0);
+  EXPECT_NEAR(result->foe.y, truth.y, 6.0);
+}
+
+TEST(FoeEstimator, RobustToOutliers) {
+  util::Rng noise(3);
+  FoeEstimator est({}, 4);
+  const auto result = est.estimate(
+      expansion_field({0, 0}, 1.2, &noise, 0.2), kCamera);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->foe.x, 0.0, 8.0);
+  EXPECT_NEAR(result->foe.y, 0.0, 8.0);
+}
+
+TEST(FoeEstimator, RejectsEmptyAndStaticFields) {
+  FoeEstimator est({}, 5);
+  EXPECT_FALSE(est.estimate({}, kCamera).has_value());
+  EXPECT_FALSE(est.estimate(codec::MotionField(32, 18), kCamera).has_value());
+}
+
+TEST(FoeEstimator, RejectsParallelField) {
+  // Pure pan: all MVs identical -> lines parallel -> no intersection.
+  codec::MotionField field(32, 18);
+  for (auto& mv : field.mvs) mv = {10, 0};
+  FoeEstimator est({}, 6);
+  EXPECT_FALSE(est.estimate(field, kCamera).has_value());
+}
+
+TEST(FoeEstimator, CalibrationConvergesAcrossFrames) {
+  FoeEstimator est({}, 7);
+  util::Rng noise(8);
+  const geom::Vec2 truth{10.0, 4.0};
+  for (int i = 0; i < 20; ++i) {
+    est.update_calibration(expansion_field(truth, 1.0, &noise, 0.08), kCamera);
+  }
+  ASSERT_TRUE(est.calibrated().has_value());
+  EXPECT_GT(est.calibration_frames(), 10);
+  EXPECT_NEAR(est.calibrated()->x, truth.x, 5.0);
+  EXPECT_NEAR(est.calibrated()->y, truth.y, 5.0);
+}
+
+TEST(FoeEstimator, ResetClearsCalibration) {
+  FoeEstimator est({}, 9);
+  est.update_calibration(expansion_field({0, 0}, 1.0), kCamera);
+  ASSERT_TRUE(est.calibrated().has_value());
+  est.reset();
+  EXPECT_FALSE(est.calibrated().has_value());
+  EXPECT_EQ(est.calibration_frames(), 0);
+}
+
+TEST(FoeEstimator, DeterministicPerSeed) {
+  const auto field = expansion_field({5, 5}, 1.0);
+  FoeEstimator a({}, 11), b({}, 11);
+  const auto ra = a.estimate(field, kCamera);
+  const auto rb = b.estimate(field, kCamera);
+  ASSERT_TRUE(ra && rb);
+  EXPECT_DOUBLE_EQ(ra->foe.x, rb->foe.x);
+  EXPECT_DOUBLE_EQ(ra->foe.y, rb->foe.y);
+}
+
+}  // namespace
+}  // namespace dive::core

@@ -1,0 +1,158 @@
+#include "core/foreground_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/motion_model.h"
+#include "geom/polygon.h"
+
+namespace dive::core {
+namespace {
+
+const geom::PinholeCamera kCamera(400.0, 512, 288);
+
+/// Moving scene with one standing object around MB cols 14..17, rows 9..12.
+PreprocessResult object_scene(double object_extra = 4.0) {
+  PreprocessResult pre;
+  pre.mb_cols = 32;
+  pre.mb_rows = 18;
+  pre.agent_moving = true;
+  pre.eta = 0.5;
+  codec::MotionField geometry(32, 18);
+  for (int row = 0; row < 18; ++row)
+    for (int col = 0; col < 32; ++col) {
+      CorrectedMv m;
+      m.col = col;
+      m.row = row;
+      m.position = kCamera.to_centered(geometry.mb_center(col, row));
+      if (m.position.y > 4.0) {
+        const double depth = 400.0 * 1.5 / m.position.y;
+        m.corrected = translational_mv(m.position, 0.9, depth);
+      }
+      if (col >= 14 && col <= 17 && row >= 9 && row <= 12) {
+        m.corrected = translational_mv(m.position, 0.9, 18.0) +
+                      geom::Vec2{object_extra, 0.0};
+      }
+      m.raw = m.corrected;
+      m.nonzero = m.corrected.norm() > 0.01;
+      pre.mvs.push_back(m);
+    }
+  return pre;
+}
+
+PreprocessResult stopped_scene() {
+  PreprocessResult pre;
+  pre.mb_cols = 32;
+  pre.mb_rows = 18;
+  pre.agent_moving = false;
+  pre.eta = 0.02;
+  codec::MotionField geometry(32, 18);
+  for (int row = 0; row < 18; ++row)
+    for (int col = 0; col < 32; ++col) {
+      CorrectedMv m;
+      m.col = col;
+      m.row = row;
+      m.position = kCamera.to_centered(geometry.mb_center(col, row));
+      pre.mvs.push_back(m);
+    }
+  return pre;
+}
+
+TEST(ForegroundExtractor, ExtractsObjectRegion) {
+  ForegroundExtractor fe;
+  const auto result = fe.extract(object_scene(), kCamera);
+  ASSERT_TRUE(result.valid);
+  ASSERT_FALSE(result.regions.empty());
+  EXPECT_FALSE(result.from_fallback);
+
+  // Some region covers the object's pixel area (MB cols 14-17 => pixels
+  // 224-288, rows 9-12 => 144-208).
+  const geom::Box object_box{224, 144, 288, 208};
+  double best_iou = 0.0;
+  for (const auto& r : result.regions)
+    best_iou = std::max(best_iou, geom::iou(r.bounds, object_box));
+  EXPECT_GT(best_iou, 0.25);
+}
+
+TEST(ForegroundExtractor, FallbackWhenStopped) {
+  ForegroundExtractor fe;
+  const auto first = fe.extract(object_scene(), kCamera);
+  ASSERT_TRUE(first.valid);
+  const auto fallback = fe.extract(stopped_scene(), kCamera);
+  EXPECT_TRUE(fallback.from_fallback);
+  EXPECT_TRUE(fallback.valid);
+  EXPECT_EQ(fallback.regions.size(), first.regions.size());
+}
+
+TEST(ForegroundExtractor, NoHistoryFallbackIsEmpty) {
+  ForegroundExtractor fe;
+  const auto result = fe.extract(stopped_scene(), kCamera);
+  EXPECT_TRUE(result.from_fallback);
+  EXPECT_FALSE(result.valid);
+  EXPECT_TRUE(result.regions.empty());
+}
+
+TEST(ForegroundExtractor, ResetClearsFallback) {
+  ForegroundExtractor fe;
+  fe.extract(object_scene(), kCamera);
+  fe.reset();
+  const auto result = fe.extract(stopped_scene(), kCamera);
+  EXPECT_FALSE(result.valid);
+}
+
+TEST(ForegroundExtractor, RegionsStayInsideFrame) {
+  ForegroundExtractor fe;
+  const auto result = fe.extract(object_scene(), kCamera);
+  for (const auto& r : result.regions) {
+    EXPECT_GE(r.bounds.x0, 0.0);
+    EXPECT_GE(r.bounds.y0, 0.0);
+    EXPECT_LE(r.bounds.x1, 512.0);
+    EXPECT_LE(r.bounds.y1, 288.0);
+  }
+}
+
+TEST(ForegroundExtractor, TemporalCarryBridgesMissedFrame) {
+  ForegroundExtractorConfig cfg;
+  cfg.temporal_carry_frames = 2;
+  ForegroundExtractor fe(cfg);
+  const auto with_object = fe.extract(object_scene(), kCamera);
+  ASSERT_TRUE(with_object.valid);
+  const std::size_t with_count = with_object.regions.size();
+
+  // Next frame: the object's motion vanishes (extraction would miss it),
+  // but carried regions keep covering it.
+  const auto missed = fe.extract(object_scene(0.0), kCamera);
+  ASSERT_TRUE(missed.valid);
+  int carried = 0;
+  for (const auto& r : missed.regions) carried += r.age > 0 ? 1 : 0;
+  EXPECT_GT(carried, 0);
+  EXPECT_GE(missed.regions.size(), 1u);
+  (void)with_count;
+}
+
+TEST(ForegroundExtractor, CarriedRegionsExpire) {
+  ForegroundExtractorConfig cfg;
+  cfg.temporal_carry_frames = 1;
+  ForegroundExtractor fe(cfg);
+  fe.extract(object_scene(), kCamera);
+  fe.extract(object_scene(0.0), kCamera);  // carries (age 1)
+  const auto third = fe.extract(object_scene(0.0), kCamera);
+  for (const auto& r : third.regions) EXPECT_LE(r.age, 1);
+}
+
+TEST(ForegroundResult, AreaFractionBounds) {
+  ForegroundResult r;
+  EXPECT_DOUBLE_EQ(r.area_fraction(512, 288), 0.0);
+  ForegroundRegion big;
+  big.bounds = {0, 0, 512, 288};
+  r.regions.push_back(big);
+  r.valid = true;
+  EXPECT_DOUBLE_EQ(r.area_fraction(512, 288), 1.0);
+  // Overlapping regions clamp at 1.
+  r.regions.push_back(big);
+  EXPECT_DOUBLE_EQ(r.area_fraction(512, 288), 1.0);
+}
+
+}  // namespace
+}  // namespace dive::core

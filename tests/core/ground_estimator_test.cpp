@@ -1,0 +1,163 @@
+#include "core/ground_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/preprocess.h"
+#include "geom/polygon.h"
+
+namespace dive::core {
+namespace {
+
+const geom::PinholeCamera kCamera(400.0, 512, 288);
+
+/// Synthetic preprocessed frame: translational flow over a ground plane,
+/// plus an optional standing object at given MB columns/rows with
+/// distinct motion.
+PreprocessResult scene_result(double dz, bool with_object,
+                              double object_extra_mv = 4.0) {
+  PreprocessResult pre;
+  pre.mb_cols = 32;
+  pre.mb_rows = 18;
+  pre.agent_moving = true;
+  pre.eta = 0.6;
+  codec::MotionField geometry(pre.mb_cols, pre.mb_rows);
+  for (int row = 0; row < pre.mb_rows; ++row) {
+    for (int col = 0; col < pre.mb_cols; ++col) {
+      CorrectedMv m;
+      m.col = col;
+      m.row = row;
+      m.position = kCamera.to_centered(geometry.mb_center(col, row));
+      geom::Vec2 mv{};
+      if (m.position.y > 4.0) {
+        const double depth = 400.0 * 1.5 / m.position.y;  // ground geometry
+        mv = translational_mv(m.position, dz, depth);
+      }
+      // An "object" column block: taller than ground, different motion.
+      if (with_object && col >= 14 && col <= 17 && row >= 9 && row <= 12) {
+        const double depth = 18.0;
+        mv = translational_mv(m.position, dz, depth) +
+             geom::Vec2{object_extra_mv, 0.0};
+      }
+      m.raw = mv;
+      m.corrected = mv;
+      m.nonzero = mv.norm() > 0.01;
+      pre.mvs.push_back(m);
+    }
+  }
+  return pre;
+}
+
+TEST(GroundEstimator, FindsGroundOnPlainRoad) {
+  const GroundEstimator est;
+  const auto pre = scene_result(0.9, false);
+  const auto g = est.estimate(pre, kCamera);
+  ASSERT_TRUE(g.valid);
+  EXPECT_GT(g.ground_count, 50);
+  EXPECT_GE(g.hull.size(), 3u);
+  // With nothing standing on the road, the only seeds are blocks whose
+  // MVs were too small/noisy to classify — they live near the horizon,
+  // not in the near field.
+  for (int idx : g.seed_indices) {
+    EXPECT_LT(pre.mvs[static_cast<std::size_t>(idx)].position.y, 40.0)
+        << "unexpected near-field seed at MB " << idx;
+  }
+}
+
+TEST(GroundEstimator, ObjectBecomesSeeds) {
+  const GroundEstimator est;
+  const auto g = est.estimate(scene_result(0.9, true), kCamera);
+  ASSERT_TRUE(g.valid);
+  EXPECT_GE(g.seed_indices.size(), 4u);
+  // Seeds cluster at the object's columns.
+  int on_object = 0;
+  for (int idx : g.seed_indices) {
+    const int col = idx % 32;
+    const int row = idx / 32;
+    if (col >= 13 && col <= 18 && row >= 8 && row <= 13) ++on_object;
+  }
+  EXPECT_GT(on_object, static_cast<int>(g.seed_indices.size()) / 2);
+}
+
+TEST(GroundEstimator, ObjectBlocksNotGround) {
+  const GroundEstimator est;
+  const auto g = est.estimate(scene_result(0.9, true), kCamera);
+  ASSERT_TRUE(g.valid);
+  // The object's elevated blocks must not be classified as ground.
+  for (int row = 9; row <= 11; ++row)
+    for (int col = 14; col <= 17; ++col)
+      EXPECT_FALSE(g.ground_mask[static_cast<std::size_t>(row) * 32 + col])
+          << "(" << col << "," << row << ")";
+}
+
+TEST(GroundEstimator, StationaryFrameInvalid) {
+  PreprocessResult pre;
+  pre.mb_cols = 32;
+  pre.mb_rows = 18;
+  codec::MotionField geometry(32, 18);
+  for (int row = 0; row < 18; ++row)
+    for (int col = 0; col < 32; ++col) {
+      CorrectedMv m;
+      m.col = col;
+      m.row = row;
+      m.position = kCamera.to_centered(geometry.mb_center(col, row));
+      pre.mvs.push_back(m);  // all-zero MVs
+    }
+  const GroundEstimator est;
+  EXPECT_FALSE(est.estimate(pre, kCamera).valid);
+}
+
+TEST(GroundEstimator, RadialFilterDropsNoise) {
+  // Tangential (non-FOE-pointing) vectors must not enter the ground set.
+  auto pre = scene_result(0.9, false);
+  int poisoned = 0;
+  for (auto& m : pre.mvs) {
+    if (m.position.y > 30.0 && m.position.x > 50.0 && poisoned < 20) {
+      m.corrected = {-m.corrected.y, m.corrected.x};  // rotate 90 deg
+      ++poisoned;
+    }
+  }
+  const GroundEstimator est;
+  const auto g = est.estimate(pre, kCamera);
+  ASSERT_TRUE(g.valid);
+  for (std::size_t i = 0; i < pre.mvs.size(); ++i) {
+    const auto& m = pre.mvs[i];
+    if (m.position.y > 30.0 && m.position.x > 50.0 && g.ground_mask[i]) {
+      // Any such block marked ground must still be radially consistent
+      // (i.e., it was not one of the poisoned ones).
+      const double cosine =
+          m.corrected.normalized().dot(m.position.normalized());
+      EXPECT_GT(cosine, 0.9);
+    }
+  }
+}
+
+TEST(GroundEstimator, HullContainsGroundCenters) {
+  const GroundEstimator est;
+  const auto pre = scene_result(0.9, false);
+  const auto g = est.estimate(pre, kCamera);
+  ASSERT_TRUE(g.valid);
+  for (std::size_t i = 0; i < pre.mvs.size(); ++i) {
+    if (!g.ground_mask[i]) continue;
+    const geom::Vec2 pixel = kCamera.to_pixel(pre.mvs[i].position);
+    EXPECT_TRUE(geom::point_in_polygon(pixel, g.hull));
+  }
+}
+
+TEST(GroundEstimator, HoleFillAbsorbsIsolatedNoise) {
+  auto pre = scene_result(0.9, false);
+  // Make one mid-road block non-radial (noise): it would become a seed
+  // without hole filling.
+  const int idx = 14 * 32 + 16;
+  pre.mvs[static_cast<std::size_t>(idx)].corrected = {
+      -pre.mvs[static_cast<std::size_t>(idx)].corrected.y,
+      pre.mvs[static_cast<std::size_t>(idx)].corrected.x};
+  const GroundEstimator est;
+  const auto g = est.estimate(pre, kCamera);
+  ASSERT_TRUE(g.valid);
+  EXPECT_TRUE(g.ground_mask[static_cast<std::size_t>(idx)]);
+}
+
+}  // namespace
+}  // namespace dive::core

@@ -1,0 +1,150 @@
+#include "core/rotation_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dive::core {
+namespace {
+
+const geom::PinholeCamera kCamera(400.0, 512, 288);
+
+/// Builds a synthetic field: translation at scene depths + rotation, with
+/// optional noise vectors.
+codec::MotionField make_field(Rotation rot, double dz, util::Rng* noise_rng,
+                              double outlier_fraction = 0.0) {
+  codec::MotionField field(512 / 16, 288 / 16);
+  for (int row = 0; row < field.mb_rows; ++row) {
+    for (int col = 0; col < field.mb_cols; ++col) {
+      const geom::Vec2 p = kCamera.to_centered(field.mb_center(col, row));
+      // Ground below the horizon, building wall above.
+      const double depth =
+          p.y > 4.0 ? 400.0 * 1.5 / p.y : 30.0;
+      geom::Vec2 mv = translational_mv(p, dz, depth) +
+                      rotational_mv(p, rot, kCamera.focal());
+      if (noise_rng != nullptr && noise_rng->chance(outlier_fraction)) {
+        mv = {noise_rng->uniform(-12, 12), noise_rng->uniform(-12, 12)};
+      }
+      field.at(col, row) = {static_cast<int>(std::lround(mv.x * 2)),
+                            static_cast<int>(std::lround(mv.y * 2))};
+    }
+  }
+  return field;
+}
+
+TEST(RotationEstimator, RecoversPureYaw) {
+  RotationEstimator est({}, 1);
+  const Rotation truth{0.0, 0.012};
+  const auto result = est.estimate(make_field(truth, 0.8, nullptr), kCamera);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->rotation.dphi_y, truth.dphi_y, 5e-4);
+  EXPECT_NEAR(result->rotation.dphi_x, 0.0, 5e-4);
+}
+
+TEST(RotationEstimator, RecoversPurePitch) {
+  RotationEstimator est({}, 2);
+  const Rotation truth{0.004, 0.0};
+  const auto result = est.estimate(make_field(truth, 0.8, nullptr), kCamera);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->rotation.dphi_x, truth.dphi_x, 5e-4);
+  EXPECT_NEAR(result->rotation.dphi_y, 0.0, 5e-4);
+}
+
+TEST(RotationEstimator, RecoversCompoundRotation) {
+  RotationEstimator est({}, 3);
+  const Rotation truth{-0.003, 0.008};
+  const auto result = est.estimate(make_field(truth, 1.0, nullptr), kCamera);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->rotation.dphi_x, truth.dphi_x, 6e-4);
+  EXPECT_NEAR(result->rotation.dphi_y, truth.dphi_y, 6e-4);
+}
+
+TEST(RotationEstimator, ZeroRotationGivesZero) {
+  RotationEstimator est({}, 4);
+  const auto result = est.estimate(make_field({}, 1.0, nullptr), kCamera);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->rotation.dphi_x, 0.0, 4e-4);
+  EXPECT_NEAR(result->rotation.dphi_y, 0.0, 4e-4);
+}
+
+TEST(RotationEstimator, RobustToOutliers) {
+  util::Rng noise(9);
+  RotationEstimator est({}, 5);
+  const Rotation truth{0.002, -0.01};
+  const auto field = make_field(truth, 0.9, &noise, 0.25);
+  const auto result = est.estimate(field, kCamera);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->rotation.dphi_y, truth.dphi_y, 2e-3);
+}
+
+TEST(RotationEstimator, EmptyFieldFails) {
+  RotationEstimator est({}, 6);
+  EXPECT_FALSE(est.estimate(codec::MotionField{}, kCamera).has_value());
+}
+
+TEST(RotationEstimator, SaturatedVectorsExcluded) {
+  // A field whose near blocks saturate must still estimate from the rest.
+  RotationEstimator est({}, 7);
+  auto field = make_field({0.0, 0.01}, 0.8, nullptr);
+  for (int col = 0; col < field.mb_cols; ++col) {
+    field.at(col, field.mb_rows - 1) = {60, 0};  // 30 px: saturated
+  }
+  const auto result = est.estimate(field, kCamera);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->rotation.dphi_y, 0.01, 1e-3);
+}
+
+TEST(RotationEstimator, RSamplingBeatsRandomUnderFarNoise) {
+  // Corrupt the far-from-FOE half of the field: R-sampling (near-FOE)
+  // survives; random sampling degrades.
+  util::Rng noise(11);
+  const Rotation truth{0.0, 0.01};
+  auto field = make_field(truth, 0.8, nullptr);
+  for (int row = 0; row < field.mb_rows; ++row)
+    for (int col = 0; col < field.mb_cols; ++col) {
+      const geom::Vec2 p = kCamera.to_centered(field.mb_center(col, row));
+      if (p.norm() > 130.0) {
+        field.at(col, row) = {noise.uniform_int(-20, 20),
+                              noise.uniform_int(-20, 20)};
+      }
+    }
+
+  RotationEstimatorConfig r_cfg;
+  r_cfg.policy = SamplingPolicy::kRSampling;
+  RotationEstimator r_est(r_cfg, 13);
+  const auto r = r_est.estimate(field, kCamera);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(r->rotation.dphi_y, truth.dphi_y, 1e-3);
+
+  RotationEstimatorConfig rand_cfg;
+  rand_cfg.policy = SamplingPolicy::kRandom;
+  rand_cfg.sample_count = 70;
+  RotationEstimator rand_est(rand_cfg, 13);
+  double rand_err_sum = 0.0;
+  int rand_n = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto res = rand_est.estimate(field, kCamera);
+    if (res) {
+      rand_err_sum += std::abs(res->rotation.dphi_y - truth.dphi_y);
+      ++rand_n;
+    }
+  }
+  const double r_err = std::abs(r->rotation.dphi_y - truth.dphi_y);
+  if (rand_n > 0) {
+    EXPECT_GE(rand_err_sum / rand_n + 1e-6, r_err);
+  }
+}
+
+TEST(RotationEstimator, KControlsSampleCount) {
+  RotationEstimatorConfig cfg;
+  cfg.sample_count = 30;
+  RotationEstimator est(cfg, 8);
+  const auto result = est.estimate(make_field({0, 0.01}, 0.8, nullptr), kCamera);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->samples_used, 30);
+}
+
+}  // namespace
+}  // namespace dive::core

@@ -1,0 +1,103 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace dive::data {
+namespace {
+
+TEST(DatasetSpecs, PaperFrameRates) {
+  EXPECT_DOUBLE_EQ(nuscenes_like().fps, 12.0);
+  EXPECT_DOUBLE_EQ(robotcar_like().fps, 16.0);
+  EXPECT_DOUBLE_EQ(kitti_like().fps, 10.0);
+}
+
+TEST(DatasetSpecs, DimensionsAreMacroblockAligned) {
+  for (const auto& spec : {nuscenes_like(), robotcar_like(), kitti_like()}) {
+    EXPECT_EQ(spec.width % 16, 0) << to_string(spec.kind);
+    EXPECT_EQ(spec.height % 16, 0) << to_string(spec.kind);
+  }
+}
+
+TEST(DatasetSpecs, AspectRatiosMatchSources) {
+  // nuScenes 16:9, RobotCar 4:3, KITTI ~3.3:1.
+  const auto nu = nuscenes_like();
+  EXPECT_NEAR(static_cast<double>(nu.width) / nu.height, 16.0 / 9.0, 0.01);
+  const auto rc = robotcar_like();
+  EXPECT_NEAR(static_cast<double>(rc.width) / rc.height, 4.0 / 3.0, 0.01);
+  const auto ki = kitti_like();
+  EXPECT_NEAR(static_cast<double>(ki.width) / ki.height, 1242.0 / 375.0, 0.25);
+}
+
+TEST(GenerateClip, DeterministicPerIndex) {
+  const auto spec = nuscenes_like(2, 8);
+  const Clip a = generate_clip(spec, 0);
+  const Clip b = generate_clip(spec, 0);
+  ASSERT_EQ(a.frame_count(), b.frame_count());
+  EXPECT_EQ(a.frames[3].image, b.frames[3].image);
+
+  const Clip c = generate_clip(spec, 1);
+  EXPECT_NE(a.frames[3].image, c.frames[3].image);
+}
+
+TEST(GenerateClip, TimestampsFollowFps) {
+  const auto spec = robotcar_like(1, 10);
+  const Clip clip = generate_clip(spec, 0);
+  ASSERT_EQ(clip.frame_count(), 10);
+  EXPECT_DOUBLE_EQ(clip.frames[0].timestamp, 0.0);
+  EXPECT_NEAR(clip.frames[9].timestamp - clip.frames[8].timestamp,
+              1.0 / 16.0, 1e-12);
+}
+
+TEST(GenerateClip, KittiCarriesImu) {
+  const auto kitti = generate_clip(kitti_like(1, 10), 0);
+  EXPECT_FALSE(kitti.imu.empty());
+  // ~100 Hz over the clip duration.
+  EXPECT_GT(kitti.imu.size(), 90u);
+  const auto nu = generate_clip(nuscenes_like(1, 10), 0);
+  EXPECT_TRUE(nu.imu.empty());
+}
+
+TEST(GenerateClip, AnnotationsPresent) {
+  const Clip clip = generate_clip(nuscenes_like(1, 12), 0);
+  long objects = 0;
+  for (const auto& f : clip.frames) objects += static_cast<long>(f.objects.size());
+  EXPECT_GT(objects, 10);
+}
+
+TEST(ClassifyMotion, ThreeStates) {
+  video::EgoState stopped;
+  stopped.speed = 0.1;
+  EXPECT_EQ(classify_motion(stopped), MotionState::kStatic);
+
+  video::EgoState straight;
+  straight.speed = 10.0;
+  straight.yaw_rate = 0.001;
+  EXPECT_EQ(classify_motion(straight), MotionState::kStraight);
+
+  video::EgoState turning;
+  turning.speed = 8.0;
+  turning.yaw_rate = 0.3;
+  EXPECT_EQ(classify_motion(turning), MotionState::kTurning);
+}
+
+TEST(DatasetStats, CountsPerClass) {
+  const auto spec = nuscenes_like(1, 16);
+  const auto clips = generate_dataset(spec);
+  const auto stats = accumulate_stats(spec, clips);
+  EXPECT_EQ(stats.clips, 1);
+  EXPECT_EQ(stats.frames, 16);
+  EXPECT_GT(stats.cars, 0);
+  // nuScenes-like scenes are calibrated to several cars per frame.
+  EXPECT_GT(static_cast<double>(stats.cars) / stats.frames, 2.0);
+}
+
+TEST(DatasetNames, Stable) {
+  EXPECT_STREQ(to_string(DatasetKind::kNuScenesLike), "nuScenes");
+  EXPECT_STREQ(to_string(DatasetKind::kRobotCarLike), "RobotCar");
+  EXPECT_STREQ(to_string(DatasetKind::kKittiLike), "KITTI");
+  EXPECT_STREQ(to_string(MotionState::kStatic), "static");
+  EXPECT_STREQ(to_string(MotionState::kTurning), "turning");
+}
+
+}  // namespace
+}  // namespace dive::data

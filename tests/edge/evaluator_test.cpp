@@ -1,0 +1,136 @@
+#include "edge/evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace dive::edge {
+namespace {
+
+Detection det(video::ObjectClass cls, geom::Box box, double conf) {
+  return {cls, box, conf};
+}
+
+constexpr auto kCar = video::ObjectClass::kCar;
+constexpr auto kPed = video::ObjectClass::kPedestrian;
+
+TEST(AveragePrecision, PerfectDetections) {
+  // 3 TPs covering 3 GT boxes -> AP 1.
+  std::vector<std::pair<double, bool>> scored = {
+      {0.9, true}, {0.8, true}, {0.7, true}};
+  EXPECT_DOUBLE_EQ(average_precision(scored, 3), 1.0);
+}
+
+TEST(AveragePrecision, AllFalsePositives) {
+  std::vector<std::pair<double, bool>> scored = {{0.9, false}, {0.8, false}};
+  EXPECT_DOUBLE_EQ(average_precision(scored, 2), 0.0);
+}
+
+TEST(AveragePrecision, MissedGroundTruthCapsRecall) {
+  // 1 TP of 2 GT: AP = 0.5 (precision 1 up to recall 0.5).
+  std::vector<std::pair<double, bool>> scored = {{0.9, true}};
+  EXPECT_DOUBLE_EQ(average_precision(scored, 2), 0.5);
+}
+
+TEST(AveragePrecision, FalsePositiveAboveTruePositive) {
+  // FP ranked first: precision at recall 1 is 1/2 -> AP 0.5.
+  std::vector<std::pair<double, bool>> scored = {{0.9, false}, {0.8, true}};
+  EXPECT_DOUBLE_EQ(average_precision(scored, 1), 0.5);
+}
+
+TEST(AveragePrecision, EnvelopeInterpolation) {
+  // TP, FP, TP over 2 GT: precision points 1, 1/2, 2/3.
+  // Envelope: [1, 2/3, 2/3]; AP = 0.5*1 + 0.5*(2/3) = 5/6.
+  std::vector<std::pair<double, bool>> scored = {
+      {0.9, true}, {0.8, false}, {0.7, true}};
+  EXPECT_NEAR(average_precision(scored, 2), 5.0 / 6.0, 1e-12);
+}
+
+TEST(AveragePrecision, NoGroundTruthIsZero) {
+  EXPECT_DOUBLE_EQ(average_precision({{0.9, false}}, 0), 0.0);
+}
+
+TEST(ApEvaluator, ExactMatchScoresOne) {
+  ApEvaluator ev;
+  const DetectionList truth = {det(kCar, {10, 10, 50, 40}, 1.0)};
+  ev.add_frame({det(kCar, {10, 10, 50, 40}, 0.9)}, truth);
+  EXPECT_DOUBLE_EQ(ev.ap(kCar), 1.0);
+  EXPECT_DOUBLE_EQ(ev.map(), 1.0);
+}
+
+TEST(ApEvaluator, IouThresholdGates) {
+  ApEvaluator ev;
+  const DetectionList truth = {det(kCar, {0, 0, 100, 100}, 1.0)};
+  // Shifted box with IoU just under 0.5 is a false positive.
+  ev.add_frame({det(kCar, {60, 0, 160, 100}, 0.9)}, truth);
+  EXPECT_DOUBLE_EQ(ev.ap(kCar), 0.0);
+
+  ApEvaluator ev2;
+  // IoU = 80/120 = 0.67 >= 0.5: true positive.
+  ev2.add_frame({det(kCar, {20, 0, 120, 100}, 0.9)}, truth);
+  EXPECT_DOUBLE_EQ(ev2.ap(kCar), 1.0);
+}
+
+TEST(ApEvaluator, ClassesScoredIndependently) {
+  ApEvaluator ev;
+  const DetectionList truth = {det(kCar, {0, 0, 50, 50}, 1.0),
+                               det(kPed, {100, 0, 120, 60}, 1.0)};
+  // Car box detected with pedestrian label: FP for ped, miss for car.
+  ev.add_frame({det(kPed, {0, 0, 50, 50}, 0.9)}, truth);
+  EXPECT_DOUBLE_EQ(ev.ap(kCar), 0.0);
+  EXPECT_DOUBLE_EQ(ev.ap(kPed), 0.0);
+}
+
+TEST(ApEvaluator, DuplicateDetectionsPenalized) {
+  ApEvaluator ev;
+  const DetectionList truth = {det(kCar, {0, 0, 50, 50}, 1.0)};
+  ev.add_frame({det(kCar, {0, 0, 50, 50}, 0.9),
+                det(kCar, {1, 1, 51, 51}, 0.8)},
+               truth);
+  // Second detection cannot re-match the same GT: 1 TP + 1 FP.
+  EXPECT_DOUBLE_EQ(ev.ap(kCar), 1.0);  // envelope: TP ranked first
+  EXPECT_EQ(ev.detection_count(kCar), 2);
+}
+
+TEST(ApEvaluator, GreedyMatchPrefersBestIou) {
+  ApEvaluator ev;
+  const DetectionList truth = {det(kCar, {0, 0, 40, 40}, 1.0),
+                               det(kCar, {100, 0, 140, 40}, 1.0)};
+  // One detection overlapping both GTs a bit, better with the first.
+  ev.add_frame({det(kCar, {5, 0, 45, 40}, 0.9),
+                det(kCar, {100, 0, 140, 40}, 0.8)},
+               truth);
+  EXPECT_DOUBLE_EQ(ev.ap(kCar), 1.0);
+}
+
+TEST(ApEvaluator, AccumulatesAcrossFrames) {
+  ApEvaluator ev;
+  const DetectionList truth = {det(kCar, {0, 0, 50, 50}, 1.0)};
+  ev.add_frame({det(kCar, {0, 0, 50, 50}, 0.9)}, truth);   // hit
+  ev.add_frame({}, truth);                                  // miss
+  EXPECT_DOUBLE_EQ(ev.ap(kCar), 0.5);
+  EXPECT_EQ(ev.frames(), 2);
+  EXPECT_EQ(ev.ground_truth_count(kCar), 2);
+}
+
+TEST(ApEvaluator, MapAveragesPresentClasses) {
+  ApEvaluator ev;
+  ev.add_frame({det(kCar, {0, 0, 50, 50}, 0.9)},
+               {det(kCar, {0, 0, 50, 50}, 1.0)});
+  // Pedestrians never appear in GT: mAP = AP(car).
+  EXPECT_DOUBLE_EQ(ev.map(), 1.0);
+
+  ev.add_frame({}, {det(kPed, {0, 0, 20, 60}, 1.0)});
+  EXPECT_DOUBLE_EQ(ev.map(), 0.5);  // (1.0 + 0.0) / 2
+}
+
+TEST(ApEvaluator, ResetClearsState) {
+  ApEvaluator ev;
+  ev.add_frame({det(kCar, {0, 0, 50, 50}, 0.9)},
+               {det(kCar, {0, 0, 50, 50}, 1.0)});
+  ev.reset();
+  EXPECT_EQ(ev.frames(), 0);
+  EXPECT_EQ(ev.ground_truth_count(kCar), 0);
+  EXPECT_DOUBLE_EQ(ev.map(), 0.0);
+}
+
+}  // namespace
+}  // namespace dive::edge

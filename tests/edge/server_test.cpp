@@ -1,0 +1,77 @@
+#include "edge/server.h"
+
+#include <gtest/gtest.h>
+
+#include "codec/encoder.h"
+
+namespace dive::edge {
+namespace {
+
+video::Frame frame_with_car(int w, int h) {
+  video::Frame f(w, h);
+  for (int y = 10; y < 25; ++y)
+    for (int x = 10; x < 40; ++x) {
+      f.u.at(x, y) = 168;
+      f.v.at(x, y) = 120;
+    }
+  return f;
+}
+
+TEST(EdgeServer, DecodesAndDetects) {
+  codec::Encoder enc({.width = 128, .height = 64});
+  const auto frame = frame_with_car(128, 64);
+  const auto encoded = enc.encode(frame, 8);
+
+  EdgeServer server(ServerConfig{}, 1);
+  const auto result = server.process(encoded.data, util::from_seconds(1));
+  ASSERT_EQ(result.detections.size(), 1u);
+  EXPECT_EQ(result.detections[0].cls, video::ObjectClass::kCar);
+  EXPECT_EQ(result.decoded.width(), 128);
+}
+
+TEST(EdgeServer, ResultTimeIncludesLatencies) {
+  codec::Encoder enc({.width = 64, .height = 32});
+  const auto encoded = enc.encode(video::Frame(64, 32), 20);
+  ServerConfig cfg;
+  cfg.decode_latency = util::from_millis(5);
+  cfg.inference_latency = util::from_millis(20);
+  cfg.inference_jitter_ms = 0.0;
+  cfg.downlink_delay = util::from_millis(10);
+  EdgeServer server(cfg, 2);
+  const auto r = server.process(encoded.data, util::from_seconds(2));
+  EXPECT_EQ(r.result_at_agent, util::from_seconds(2) + util::from_millis(35));
+}
+
+TEST(EdgeServer, JitterBoundsResultTime) {
+  codec::Encoder enc({.width = 64, .height = 32});
+  ServerConfig cfg;
+  cfg.inference_jitter_ms = 3.0;
+  EdgeServer server(cfg, 3);
+  const util::SimTime nominal = cfg.decode_latency + cfg.inference_latency +
+                                cfg.downlink_delay;
+  for (int i = 0; i < 10; ++i) {
+    const auto encoded = enc.encode(video::Frame(64, 32), 20);
+    const auto r = server.process(encoded.data, 0);
+    EXPECT_GE(r.result_at_agent, nominal - util::from_millis(3));
+    EXPECT_LE(r.result_at_agent, nominal + util::from_millis(3));
+  }
+}
+
+TEST(EdgeServer, InferRawBypassesCodec) {
+  EdgeServer server(ServerConfig{}, 4);
+  const auto dets = server.infer_raw(frame_with_car(128, 64));
+  ASSERT_EQ(dets.size(), 1u);
+}
+
+TEST(EdgeServer, StatefulAcrossInterFrames) {
+  codec::Encoder enc({.width = 64, .height = 32});
+  EdgeServer server(ServerConfig{}, 5);
+  server.process(enc.encode(video::Frame(64, 32), 24).data, 0);
+  EXPECT_TRUE(server.has_reference());
+  // A subsequent inter frame decodes fine against the server's state.
+  const auto inter = enc.encode(video::Frame(64, 32), 24);
+  EXPECT_NO_THROW(server.process(inter.data, util::from_millis(100)));
+}
+
+}  // namespace
+}  // namespace dive::edge

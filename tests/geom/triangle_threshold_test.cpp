@@ -1,0 +1,70 @@
+#include "geom/triangle_threshold.h"
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.h"
+#include "util/rng.h"
+
+namespace dive::geom {
+namespace {
+
+TEST(TriangleThreshold, EmptyHistogram) {
+  util::Histogram h(0, 1, 10);
+  const auto r = triangle_threshold(h);
+  EXPECT_EQ(r.bin, 0u);
+}
+
+TEST(TriangleThreshold, SingleSpike) {
+  util::Histogram h(0, 10, 10);
+  for (int i = 0; i < 50; ++i) h.add(3.5);
+  const auto r = triangle_threshold(h);
+  // Degenerate: the peak is the only mass; threshold sits at its edge.
+  EXPECT_EQ(r.bin, 3u);
+}
+
+TEST(TriangleThreshold, SeparatesPeakFromTail) {
+  // Strong unimodal peak near 1.0 with a sparse long tail to 10 — the
+  // ground-magnitude shape. The threshold must land after the peak and
+  // before the deep tail.
+  util::Rng rng(3);
+  util::Histogram h(0, 10, 50);
+  for (int i = 0; i < 2000; ++i) h.add(std::abs(rng.gaussian(1.0, 0.25)));
+  for (int i = 0; i < 120; ++i) h.add(rng.uniform(2.5, 10.0));
+  const auto r = triangle_threshold(h);
+  EXPECT_GT(r.threshold, 1.0);
+  EXPECT_LT(r.threshold, 4.0);
+}
+
+TEST(TriangleThreshold, UsesLongerTail) {
+  // Peak at the right end with a tail extending left: the method must
+  // walk the left side.
+  util::Rng rng(8);
+  util::Histogram h(0, 10, 40);
+  for (int i = 0; i < 2000; ++i) h.add(9.0 + rng.gaussian(0, 0.2));
+  for (int i = 0; i < 150; ++i) h.add(rng.uniform(0.0, 7.0));
+  const auto r = triangle_threshold(h);
+  EXPECT_LT(r.threshold, 9.0);
+  EXPECT_GT(r.threshold, 1.0);
+}
+
+TEST(TriangleThreshold, ThresholdCoversPeakMass) {
+  // Classifying "below threshold" must retain the bulk of a dominant
+  // low mode (that is its job in ground estimation).
+  util::Rng rng(5);
+  util::Histogram h(0, 5, 50);
+  std::vector<double> lows;
+  for (int i = 0; i < 3000; ++i) {
+    const double v = std::abs(rng.gaussian(0.5, 0.1));
+    lows.push_back(v);
+    h.add(v);
+  }
+  for (int i = 0; i < 200; ++i) h.add(rng.uniform(1.5, 5.0));
+  const auto r = triangle_threshold(h);
+  int kept = 0;
+  for (double v : lows)
+    if (v <= r.threshold) ++kept;
+  EXPECT_GT(static_cast<double>(kept) / lows.size(), 0.95);
+}
+
+}  // namespace
+}  // namespace dive::geom

@@ -1,0 +1,124 @@
+#include "net/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+namespace dive::net {
+namespace {
+
+using util::from_millis;
+using util::from_seconds;
+
+TEST(ConstantBandwidth, ExactIntegral) {
+  ConstantBandwidth bw(1000.0);
+  EXPECT_DOUBLE_EQ(bw.bytes_between(0, from_seconds(2.0)), 2000.0);
+  EXPECT_DOUBLE_EQ(bw.bytes_between(from_seconds(5), from_seconds(5)), 0.0);
+}
+
+TEST(ConstantBandwidth, TimeToSend) {
+  ConstantBandwidth bw(1000.0);
+  const auto t = bw.time_to_send(from_seconds(1.0), 500.0, from_seconds(100));
+  EXPECT_EQ(t, from_seconds(1.5));
+  EXPECT_EQ(bw.time_to_send(0, 0.0, from_seconds(100)), 0);
+}
+
+TEST(MbpsConversion, PaperUnits) {
+  EXPECT_DOUBLE_EQ(mbps_to_bytes_per_sec(2.0), 250'000.0);
+  EXPECT_DOUBLE_EQ(mbps_to_bytes_per_sec(1.0), 125'000.0);
+}
+
+TEST(SteppedBandwidth, RatePerSegment) {
+  SteppedBandwidth bw({{0, 100.0}, {from_seconds(1), 200.0}});
+  EXPECT_DOUBLE_EQ(bw.bytes_per_sec(from_millis(500)), 100.0);
+  EXPECT_DOUBLE_EQ(bw.bytes_per_sec(from_seconds(1)), 200.0);
+  EXPECT_DOUBLE_EQ(bw.bytes_per_sec(from_seconds(10)), 200.0);
+}
+
+TEST(SteppedBandwidth, IntegralSpansSteps) {
+  SteppedBandwidth bw({{0, 100.0}, {from_seconds(1), 300.0}});
+  EXPECT_DOUBLE_EQ(bw.bytes_between(0, from_seconds(2)), 400.0);
+  EXPECT_DOUBLE_EQ(
+      bw.bytes_between(from_millis(500), from_millis(1500)), 50.0 + 150.0);
+}
+
+TEST(SteppedBandwidth, TimeToSendCrossesStep) {
+  SteppedBandwidth bw({{0, 100.0}, {from_seconds(1), 400.0}});
+  // 100 bytes in the first second + 200 bytes at 400 B/s = 1.5 s total.
+  const auto t = bw.time_to_send(0, 300.0, from_seconds(100));
+  EXPECT_EQ(t, from_millis(1500));
+}
+
+TEST(SteppedBandwidth, RejectsBadConfig) {
+  EXPECT_THROW(SteppedBandwidth({}), std::invalid_argument);
+  EXPECT_THROW(
+      SteppedBandwidth({{from_seconds(2), 1.0}, {from_seconds(1), 2.0}}),
+      std::invalid_argument);
+}
+
+TEST(FluctuatingBandwidth, StaysWithinDepth) {
+  FluctuatingBandwidth bw(1000.0, 0.4, from_millis(100), 7);
+  for (util::SimTime t = 0; t < from_seconds(10); t += from_millis(37)) {
+    const double r = bw.bytes_per_sec(t);
+    EXPECT_GE(r, 600.0 - 1e-9);
+    EXPECT_LE(r, 1400.0 + 1e-9);
+  }
+}
+
+TEST(FluctuatingBandwidth, DeterministicPerSeed) {
+  FluctuatingBandwidth a(1000.0, 0.3, from_millis(100), 5);
+  FluctuatingBandwidth b(1000.0, 0.3, from_millis(100), 5);
+  FluctuatingBandwidth c(1000.0, 0.3, from_millis(100), 6);
+  int differs = 0;
+  for (util::SimTime t = 0; t < from_seconds(5); t += from_millis(100)) {
+    EXPECT_DOUBLE_EQ(a.bytes_per_sec(t), b.bytes_per_sec(t));
+    if (a.bytes_per_sec(t) != c.bytes_per_sec(t)) ++differs;
+  }
+  EXPECT_GT(differs, 30);
+}
+
+TEST(FluctuatingBandwidth, ConstantWithinBucket) {
+  FluctuatingBandwidth bw(1000.0, 0.5, from_millis(200), 3);
+  const double r0 = bw.bytes_per_sec(from_millis(100));
+  EXPECT_DOUBLE_EQ(bw.bytes_per_sec(from_millis(199)), r0);
+  EXPECT_EQ(bw.next_change(from_millis(100)), from_millis(200));
+}
+
+TEST(OutageBandwidth, ZeroDuringOutage) {
+  auto base = std::make_shared<ConstantBandwidth>(1000.0);
+  OutageBandwidth bw(base, {{from_seconds(2), from_seconds(3)}});
+  EXPECT_DOUBLE_EQ(bw.bytes_per_sec(from_seconds(1)), 1000.0);
+  EXPECT_DOUBLE_EQ(bw.bytes_per_sec(from_millis(2500)), 0.0);
+  EXPECT_DOUBLE_EQ(bw.bytes_per_sec(from_seconds(3)), 1000.0);
+}
+
+TEST(OutageBandwidth, IntegralSkipsOutage) {
+  auto base = std::make_shared<ConstantBandwidth>(1000.0);
+  OutageBandwidth bw(base, {{from_seconds(1), from_seconds(2)}});
+  EXPECT_DOUBLE_EQ(bw.bytes_between(0, from_seconds(3)), 2000.0);
+}
+
+TEST(OutageBandwidth, TransferStallsThroughOutage) {
+  auto base = std::make_shared<ConstantBandwidth>(1000.0);
+  OutageBandwidth bw(base, {{from_millis(500), from_millis(1500)}});
+  // 600 bytes: 500 in the first 0.5 s, stall 1 s, 100 more at 0.1 s.
+  const auto t = bw.time_to_send(0, 600.0, from_seconds(100));
+  EXPECT_EQ(t, from_millis(1600));
+}
+
+TEST(OutageBandwidth, PeriodicSchedule) {
+  const auto outages = OutageBandwidth::periodic(
+      from_seconds(3), from_seconds(5), from_seconds(1), from_seconds(20));
+  ASSERT_EQ(outages.size(), 4u);
+  EXPECT_EQ(outages[0].start, from_seconds(3));
+  EXPECT_EQ(outages[1].start, from_seconds(8));
+  EXPECT_EQ(outages[3].end, from_seconds(19));
+}
+
+TEST(OutageBandwidth, HorizonCapsUnfinishableTransfer) {
+  auto base = std::make_shared<ConstantBandwidth>(1000.0);
+  OutageBandwidth bw(base, {{0, from_seconds(1000)}});
+  const auto horizon = from_seconds(10);
+  EXPECT_EQ(bw.time_to_send(0, 100.0, horizon), horizon);
+}
+
+}  // namespace
+}  // namespace dive::net

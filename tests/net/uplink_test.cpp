@@ -1,0 +1,94 @@
+#include "net/uplink.h"
+
+#include <gtest/gtest.h>
+
+namespace dive::net {
+namespace {
+
+using util::from_millis;
+using util::from_seconds;
+
+UplinkConfig test_config() {
+  UplinkConfig cfg;
+  cfg.propagation_delay = from_millis(10);
+  cfg.head_timeout = from_millis(300);
+  return cfg;
+}
+
+TEST(Uplink, SerializationPlusPropagation) {
+  Uplink link(std::make_shared<ConstantBandwidth>(1000.0), test_config());
+  const auto r = link.transmit(500.0, from_seconds(1));
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.started, from_seconds(1));
+  EXPECT_EQ(r.sent_complete, from_millis(1500));
+  EXPECT_EQ(r.arrival, from_millis(1510));
+}
+
+TEST(Uplink, FifoQueueing) {
+  Uplink link(std::make_shared<ConstantBandwidth>(1000.0), test_config());
+  link.transmit(1000.0, 0);  // busy until t=1s
+  const auto r = link.transmit(500.0, from_millis(100));
+  EXPECT_EQ(r.started, from_seconds(1));  // waited for the queue head
+  EXPECT_EQ(r.sent_complete, from_millis(1500));
+}
+
+TEST(Uplink, IdleGapBetweenTransmissions) {
+  Uplink link(std::make_shared<ConstantBandwidth>(1000.0), test_config());
+  link.transmit(100.0, 0);
+  const auto r = link.transmit(100.0, from_seconds(5));
+  EXPECT_EQ(r.started, from_seconds(5));  // link was idle
+}
+
+TEST(Uplink, TimeoutDropsSlowFrame) {
+  // 1000 B at 1000 B/s takes 1 s > 300 ms timeout.
+  Uplink link(std::make_shared<ConstantBandwidth>(1000.0), test_config());
+  const auto r = link.transmit_with_timeout(1000.0, from_seconds(2));
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.gave_up_at, from_seconds(2) + from_millis(300));
+  // The radio is idle again after the drop.
+  EXPECT_EQ(link.busy_until(), r.gave_up_at);
+}
+
+TEST(Uplink, TimeoutPassesFastFrame) {
+  Uplink link(std::make_shared<ConstantBandwidth>(1000.0), test_config());
+  const auto r = link.transmit_with_timeout(200.0, 0);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.sent_complete, from_millis(200));
+}
+
+TEST(Uplink, TimeoutCountsFromQueueHead) {
+  // The paper's timer starts when the frame becomes the queue head.
+  Uplink link(std::make_shared<ConstantBandwidth>(1000.0), test_config());
+  link.transmit(1000.0, 0);  // head until 1 s
+  const auto r = link.transmit_with_timeout(250.0, from_millis(100));
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.started, from_seconds(1));
+  EXPECT_EQ(r.sent_complete, from_millis(1250));
+}
+
+TEST(Uplink, OutageTriggersTimeout) {
+  auto base = std::make_shared<ConstantBandwidth>(10'000.0);
+  auto trace = std::make_shared<OutageBandwidth>(
+      base, std::vector<OutageBandwidth::Outage>{
+                {from_seconds(1), from_seconds(2)}});
+  Uplink link(trace, test_config());
+  // Before the outage: fine.
+  EXPECT_TRUE(link.transmit_with_timeout(1000.0, 0).delivered);
+  // During the outage: dropped after the timeout.
+  const auto r = link.transmit_with_timeout(1000.0, from_millis(1100));
+  EXPECT_FALSE(r.delivered);
+  // After the outage: recovers.
+  EXPECT_TRUE(link.transmit_with_timeout(1000.0, from_millis(2100)).delivered);
+}
+
+TEST(Uplink, CapacityBetweenMatchesTrace) {
+  Uplink link(std::make_shared<ConstantBandwidth>(2000.0), test_config());
+  EXPECT_DOUBLE_EQ(link.capacity_between(0, from_seconds(3)), 6000.0);
+}
+
+TEST(Uplink, NullTraceRejected) {
+  EXPECT_THROW(Uplink(nullptr, test_config()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dive::net

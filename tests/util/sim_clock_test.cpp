@@ -1,0 +1,34 @@
+#include "util/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace dive::util {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(from_seconds(1.5), 1'500'000);
+  EXPECT_EQ(from_millis(2.0), 2'000);
+  EXPECT_DOUBLE_EQ(to_seconds(2'500'000), 2.5);
+  EXPECT_DOUBLE_EQ(to_millis(1'500), 1.5);
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance(-50);  // negative deltas ignored
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance_to(50);  // backwards jumps ignored
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance_to(500);
+  EXPECT_EQ(clock.now(), 500);
+}
+
+TEST(SimClock, StartOffset) {
+  SimClock clock(from_seconds(10.0));
+  EXPECT_EQ(clock.now(), 10'000'000);
+}
+
+}  // namespace
+}  // namespace dive::util

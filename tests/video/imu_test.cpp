@@ -1,0 +1,77 @@
+#include "video/imu.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dive::video {
+namespace {
+
+TEST(Imu, SampleRateAndDuration) {
+  const auto traj = EgoTrajectory::straight(10.0, 2.0);
+  util::Rng rng(1);
+  const auto samples = synthesize_imu(traj, {}, rng);
+  EXPECT_NEAR(static_cast<double>(samples.size()), 201.0, 1.0);
+  EXPECT_NEAR(samples[1].timestamp - samples[0].timestamp, 0.01, 1e-9);
+}
+
+TEST(Imu, GravityOnYAxis) {
+  const auto traj = EgoTrajectory::parked(1.0);
+  util::Rng rng(2);
+  ImuOptions opts;
+  opts.accel_noise = 0.0;
+  opts.gyro_noise = 0.0;
+  const auto samples = synthesize_imu(traj, opts, rng);
+  for (const auto& s : samples) {
+    EXPECT_DOUBLE_EQ(s.accel.y, 9.81);  // y-down frame: gravity positive
+    EXPECT_DOUBLE_EQ(s.gyro.y, 0.0);
+  }
+}
+
+TEST(Imu, YawRateDuringTurn) {
+  const auto traj = EgoTrajectory::with_turn(8.0, 1.0, 45.0, 2.0, 1.0);
+  util::Rng rng(3);
+  ImuOptions opts;
+  opts.gyro_noise = 0.0;
+  const auto samples = synthesize_imu(traj, opts, rng);
+  const double expected = 45.0 * M_PI / 180.0 / 2.0;
+  // Mid-turn samples report the commanded yaw rate.
+  const auto mid = mean_gyro(samples, 1.5, 2.5);
+  EXPECT_NEAR(mid.y, expected, 1e-6);
+  // Straight sections report none.
+  const auto head = mean_gyro(samples, 0.0, 0.9);
+  EXPECT_NEAR(head.y, 0.0, 1e-9);
+}
+
+TEST(Imu, LongitudinalAccelVisible) {
+  const EgoTrajectory traj({{1.0, 2.0, 0.0}}, 1.5, 5.0);  // 2 m/s^2
+  util::Rng rng(4);
+  ImuOptions opts;
+  opts.accel_noise = 0.0;
+  const auto samples = synthesize_imu(traj, opts, rng);
+  EXPECT_NEAR(samples[50].accel.z, 2.0, 1e-6);
+}
+
+TEST(Imu, MeanGyroEmptyWindow) {
+  const auto traj = EgoTrajectory::straight(10.0, 1.0);
+  util::Rng rng(5);
+  const auto samples = synthesize_imu(traj, {}, rng);
+  const auto g = mean_gyro(samples, 100.0, 101.0);
+  EXPECT_DOUBLE_EQ(g.x, 0.0);
+  EXPECT_DOUBLE_EQ(g.y, 0.0);
+}
+
+TEST(Imu, NoiseHasConfiguredScale) {
+  const auto traj = EgoTrajectory::parked(20.0);
+  util::Rng rng(6);
+  ImuOptions opts;
+  opts.gyro_noise = 0.01;
+  const auto samples = synthesize_imu(traj, opts, rng);
+  double sq = 0.0;
+  for (const auto& s : samples) sq += s.gyro.z * s.gyro.z;
+  const double rms = std::sqrt(sq / static_cast<double>(samples.size()));
+  EXPECT_NEAR(rms, 0.01, 0.002);
+}
+
+}  // namespace
+}  // namespace dive::video

@@ -1,0 +1,166 @@
+#include "video/renderer.h"
+
+#include <gtest/gtest.h>
+
+#include "video/image_ops.h"
+#include "video/trajectory.h"
+
+namespace dive::video {
+namespace {
+
+geom::PinholeCamera test_camera() { return {400.0, 256, 144}; }
+
+Scene road_scene(std::uint64_t seed = 99) {
+  Scene scene;
+  util::Rng rng(seed);
+  scene.add_buildings(-20, 200, rng);
+  return scene;
+}
+
+TEST(Renderer, EmptySceneHasGroundAndSky) {
+  const Renderer ren(test_camera());
+  Scene empty;
+  geom::CameraPose pose;
+  pose.position = {0, -1.5, 0};
+  const auto result = ren.render(empty, 0.0, pose, 1);
+  EXPECT_EQ(result.frame.width(), 256);
+  EXPECT_EQ(result.frame.height(), 144);
+  EXPECT_TRUE(result.objects.empty());
+  // Sky at the top (bright), road at the bottom (dark asphalt).
+  const double sky = region_mean(result.frame.y, 0, 0, 256, 20);
+  const double road = region_mean(result.frame.y, 100, 120, 156, 144);
+  EXPECT_GT(sky, 150.0);
+  EXPECT_LT(road, 130.0);
+}
+
+TEST(Renderer, CarAnnotationMatchesProjection) {
+  Scene scene;
+  SceneObject car;
+  car.cls = ObjectClass::kCar;
+  car.half = {0.9, 0.75, 2.2};
+  car.track.base_xz = {0.0, 15.0};
+  scene.add_object(car);
+
+  const Renderer ren(test_camera());
+  geom::CameraPose pose;
+  pose.position = {0, -1.5, 0};
+  const auto result = ren.render(scene, 0.0, pose, 1);
+  ASSERT_EQ(result.objects.size(), 1u);
+  const auto& ann = result.objects[0];
+  EXPECT_EQ(ann.cls, ObjectClass::kCar);
+  EXPECT_NEAR(ann.depth, 15.0, 2.5);
+  // Center of the box is near the image center column.
+  EXPECT_NEAR(ann.pixel_box.center().x, 128.0, 6.0);
+  // The projected width of a 1.8m car at 15m with f=400 is ~48px.
+  EXPECT_NEAR(ann.pixel_box.width(), 48.0, 10.0);
+}
+
+TEST(Renderer, CarChromaSignature) {
+  Scene scene;
+  SceneObject car;
+  car.cls = ObjectClass::kCar;
+  car.half = {0.9, 0.75, 2.2};
+  car.track.base_xz = {0.0, 12.0};
+  scene.add_object(car);
+
+  const Renderer ren(test_camera());
+  geom::CameraPose pose;
+  pose.position = {0, -1.5, 0};
+  const auto r = ren.render(scene, 0.0, pose, 1);
+  ASSERT_EQ(r.objects.size(), 1u);
+  const auto& b = r.objects[0].pixel_box;
+  const double u_mean = region_mean(
+      r.frame.u, static_cast<int>(b.x0 / 2) + 1, static_cast<int>(b.y0 / 2) + 1,
+      static_cast<int>(b.x1 / 2) - 1, static_cast<int>(b.y1 / 2) - 1);
+  EXPECT_GT(u_mean, 145.0);  // car pushes U well above neutral
+}
+
+TEST(Renderer, OcclusionShrinksAnnotation) {
+  Scene scene;
+  SceneObject far_car;
+  far_car.cls = ObjectClass::kCar;
+  far_car.half = {0.9, 0.75, 2.2};
+  far_car.track.base_xz = {0.0, 30.0};
+  scene.add_object(far_car);
+
+  const Renderer ren(test_camera());
+  geom::CameraPose pose;
+  pose.position = {0, -1.5, 0};
+  const int far_pixels = [&] {
+    const auto r = ren.render(scene, 0.0, pose, 1);
+    return r.objects.empty() ? 0 : r.objects[0].pixel_count;
+  }();
+  ASSERT_GT(far_pixels, 0);
+
+  SceneObject near_car = far_car;
+  near_car.track.base_xz = {0.0, 15.0};
+  scene.add_object(near_car);
+  const auto r2 = ren.render(scene, 0.0, pose, 1);
+  int far_now = 0;
+  for (const auto& o : r2.objects)
+    if (o.object_index == 0) far_now = o.pixel_count;
+  EXPECT_LT(far_now, far_pixels);  // partially or fully hidden
+}
+
+TEST(Renderer, DeterministicForSameSeed) {
+  const Renderer ren(test_camera());
+  const Scene scene = road_scene();
+  geom::CameraPose pose;
+  pose.position = {0, -1.5, 10};
+  const auto a = ren.render(scene, 1.0, pose, 42);
+  const auto b = ren.render(scene, 1.0, pose, 42);
+  EXPECT_EQ(a.frame, b.frame);
+  const auto c = ren.render(scene, 1.0, pose, 43);
+  EXPECT_NE(a.frame, c.frame);  // sensor noise differs
+}
+
+TEST(Renderer, SensorNoiseToggle) {
+  RenderOptions opts;
+  opts.sensor_noise = false;
+  const Renderer ren(test_camera(), opts);
+  const Scene scene = road_scene();
+  geom::CameraPose pose;
+  pose.position = {0, -1.5, 0};
+  const auto a = ren.render(scene, 0.0, pose, 1);
+  const auto b = ren.render(scene, 0.0, pose, 2);
+  EXPECT_EQ(a.frame, b.frame);  // noise seed has no effect when disabled
+}
+
+TEST(Renderer, ForwardMotionExpandsImage) {
+  // Content flows outward from the center when the camera advances:
+  // a right-side object's box moves right.
+  Scene scene;
+  SceneObject car;
+  car.cls = ObjectClass::kCar;
+  car.half = {0.9, 0.75, 2.2};
+  car.track.base_xz = {3.0, 25.0};
+  scene.add_object(car);
+  const Renderer ren(test_camera());
+  geom::CameraPose p0, p1;
+  p0.position = {0, -1.5, 0};
+  p1.position = {0, -1.5, 1.0};
+  const auto a = ren.render(scene, 0.0, p0, 1);
+  const auto b = ren.render(scene, 0.0, p1, 1);
+  ASSERT_EQ(a.objects.size(), 1u);
+  ASSERT_EQ(b.objects.size(), 1u);
+  EXPECT_GT(b.objects[0].pixel_box.center().x, a.objects[0].pixel_box.center().x);
+  EXPECT_GT(b.objects[0].pixel_box.area(), a.objects[0].pixel_box.area());
+}
+
+TEST(Renderer, TinyObjectsNotAnnotated) {
+  RenderOptions opts;
+  opts.min_annotation_pixels = 1000000;  // absurd threshold
+  const Renderer ren(test_camera(), opts);
+  Scene scene;
+  SceneObject car;
+  car.cls = ObjectClass::kCar;
+  car.half = {0.9, 0.75, 2.2};
+  car.track.base_xz = {0.0, 15.0};
+  scene.add_object(car);
+  geom::CameraPose pose;
+  pose.position = {0, -1.5, 0};
+  EXPECT_TRUE(ren.render(scene, 0.0, pose, 1).objects.empty());
+}
+
+}  // namespace
+}  // namespace dive::video

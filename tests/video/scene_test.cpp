@@ -1,0 +1,84 @@
+#include "video/scene.h"
+
+#include <gtest/gtest.h>
+
+namespace dive::video {
+namespace {
+
+TEST(SceneObject, RestsOnGround) {
+  SceneObject car;
+  car.cls = ObjectClass::kCar;
+  car.half = {0.9, 0.75, 2.2};
+  car.track.base_xz = {2.0, 30.0};
+  const geom::Vec3 c = car.center_at(0.0);
+  // y-down: center at -half.y puts the base exactly on Y = 0.
+  EXPECT_DOUBLE_EQ(c.y, -0.75);
+  EXPECT_DOUBLE_EQ(c.x, 2.0);
+  EXPECT_DOUBLE_EQ(c.z, 30.0);
+}
+
+TEST(SceneObject, MovesAlongTrack) {
+  SceneObject car;
+  car.half = {0.9, 0.75, 2.2};
+  car.track.base_xz = {0.0, 0.0};
+  car.track.velocity_xz = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(car.center_at(3.0).z, 30.0);
+  EXPECT_NEAR(car.yaw_at(1.0), 0.0, 1e-9);
+}
+
+TEST(Scene, PopulationCountsApproximate) {
+  Scene scene;
+  util::Rng rng(10);
+  scene.add_parked_cars(10, 0, 200, rng);
+  scene.add_moving_cars(5, 0, 200, rng);
+  scene.add_pedestrians(7, 0, 200, rng);
+  EXPECT_EQ(scene.objects().size(), 22u);
+  int cars = 0, peds = 0;
+  for (const auto& o : scene.objects()) {
+    if (o.cls == ObjectClass::kCar) ++cars;
+    if (o.cls == ObjectClass::kPedestrian) ++peds;
+  }
+  EXPECT_EQ(cars, 15);
+  EXPECT_EQ(peds, 7);
+}
+
+TEST(Scene, BuildingsOutsideRoad) {
+  Scene scene;
+  util::Rng rng(11);
+  scene.add_buildings(0, 300, rng);
+  ASSERT_GT(scene.objects().size(), 5u);
+  for (const auto& b : scene.objects()) {
+    EXPECT_EQ(b.cls, ObjectClass::kBuilding);
+    EXPECT_GE(std::abs(b.track.base_xz.x),
+              scene.params().building_band_near);
+  }
+}
+
+TEST(Scene, ParkedCarsOnShoulder) {
+  Scene scene;
+  util::Rng rng(12);
+  scene.add_parked_cars(20, 0, 500, rng);
+  for (const auto& c : scene.objects()) {
+    EXPECT_LT(std::abs(c.track.base_xz.x), scene.params().road_half_width);
+    EXPECT_DOUBLE_EQ(c.track.velocity_xz.norm(), 0.0);
+  }
+}
+
+TEST(Scene, MovingCarsInLanes) {
+  Scene scene;
+  util::Rng rng(13);
+  scene.add_moving_cars(20, 0, 500, rng);
+  for (const auto& c : scene.objects()) {
+    EXPECT_TRUE(c.track.moving());
+    EXPECT_LT(std::abs(c.track.base_xz.x), scene.params().lane_width);
+  }
+}
+
+TEST(ObjectClassNames, Stable) {
+  EXPECT_STREQ(to_string(ObjectClass::kCar), "car");
+  EXPECT_STREQ(to_string(ObjectClass::kPedestrian), "pedestrian");
+  EXPECT_STREQ(to_string(ObjectClass::kBuilding), "building");
+}
+
+}  // namespace
+}  // namespace dive::video

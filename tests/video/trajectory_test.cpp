@@ -1,0 +1,97 @@
+#include "video/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dive::video {
+namespace {
+
+TEST(EgoTrajectory, StraightConstantSpeed) {
+  const auto t = EgoTrajectory::straight(10.0, 5.0, 1.5);
+  const auto s0 = t.state_at(0.0);
+  const auto s2 = t.state_at(2.0);
+  EXPECT_NEAR(s0.speed, 10.0, 1e-9);
+  EXPECT_NEAR(s2.position.z - s0.position.z, 20.0, 0.05);
+  EXPECT_NEAR(s2.position.x, 0.0, 1e-6);
+  EXPECT_DOUBLE_EQ(s2.position.y, -1.5);  // y-down: camera above ground
+  EXPECT_NEAR(s2.yaw, 0.0, 1e-9);
+}
+
+TEST(EgoTrajectory, ParkedStaysPut) {
+  const auto t = EgoTrajectory::parked(3.0);
+  const auto s = t.state_at(2.5);
+  EXPECT_TRUE(s.is_stopped());
+  EXPECT_NEAR(s.position.z, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.pitch, 0.0);  // wobble gated off at zero speed
+}
+
+TEST(EgoTrajectory, StopAndGoProfile) {
+  // 2s drive @8, brake 1s, dwell 2s, accel 1s, tail 2s.
+  const auto t = EgoTrajectory::stop_and_go(8.0, 2.0, 1.0, 2.0, 1.0, 2.0);
+  EXPECT_NEAR(t.state_at(1.0).speed, 8.0, 1e-6);
+  EXPECT_NEAR(t.state_at(3.5).speed, 0.0, 0.05);   // during dwell
+  EXPECT_NEAR(t.state_at(4.0).speed, 0.0, 0.05);   // dwell end
+  EXPECT_NEAR(t.state_at(5.5).speed, 4.0, 0.25);   // mid re-acceleration
+  EXPECT_NEAR(t.state_at(6.5).speed, 8.0, 0.25);   // back to speed
+  EXPECT_TRUE(t.state_at(3.5).is_stopped());
+}
+
+TEST(EgoTrajectory, TurnChangesHeading) {
+  const auto t = EgoTrajectory::with_turn(8.0, 1.0, 90.0, 2.0, 1.0);
+  const auto before = t.state_at(0.5);
+  const auto after = t.state_at(3.5);
+  EXPECT_NEAR(before.yaw, 0.0, 1e-9);
+  EXPECT_NEAR(after.yaw, M_PI / 2.0, 0.02);
+  // During the turn the yaw rate matches the commanded value.
+  EXPECT_NEAR(t.state_at(2.0).yaw_rate, M_PI / 2.0 / 2.0, 1e-9);
+  // After the turn the vehicle travels along +x.
+  const auto later = t.state_at(4.0);
+  EXPECT_GT(later.position.x - after.position.x, 3.0);
+}
+
+TEST(EgoTrajectory, PitchWobbleActiveOnlyWhenMoving) {
+  PitchWobble wobble;
+  wobble.amplitude = 0.01;
+  wobble.frequency = 1.0;
+  const EgoTrajectory moving({{5.0, 0.0, 0.0}}, 1.5, 10.0, wobble);
+  double max_pitch = 0.0;
+  for (double t = 0; t < 5.0; t += 0.01)
+    max_pitch = std::max(max_pitch, std::abs(moving.state_at(t).pitch));
+  EXPECT_NEAR(max_pitch, 0.01, 0.002);
+
+  const EgoTrajectory parked({{5.0, 0.0, 0.0}}, 1.5, 0.0, wobble);
+  for (double t = 0; t < 5.0; t += 0.5)
+    EXPECT_DOUBLE_EQ(parked.state_at(t).pitch, 0.0);
+}
+
+TEST(EgoTrajectory, ClampedBeyondDuration) {
+  const auto t = EgoTrajectory::straight(5.0, 2.0);
+  const auto end = t.state_at(2.0);
+  const auto past = t.state_at(100.0);
+  EXPECT_NEAR(end.position.z, past.position.z, 1e-9);
+}
+
+TEST(EgoTrajectory, SpeedNeverNegative) {
+  // Braking far longer than needed: speed must clamp at zero.
+  const EgoTrajectory t({{10.0, -5.0, 0.0}}, 1.5, 5.0);
+  for (double time = 0; time < 10.0; time += 0.25)
+    EXPECT_GE(t.state_at(time).speed, 0.0);
+}
+
+TEST(ObjectTrack, LinearMotionAndHeading) {
+  ObjectTrack track;
+  track.base_xz = {1.0, 2.0};
+  track.velocity_xz = {0.0, 5.0};
+  EXPECT_EQ(track.position_at(2.0), (geom::Vec2{1.0, 12.0}));
+  EXPECT_TRUE(track.moving());
+  EXPECT_NEAR(track.heading_at(0.0), 0.0, 1e-9);  // along +z
+
+  ObjectTrack parked;
+  parked.heading = 1.0;
+  EXPECT_FALSE(parked.moving());
+  EXPECT_DOUBLE_EQ(parked.heading_at(5.0), 1.0);
+}
+
+}  // namespace
+}  // namespace dive::video
