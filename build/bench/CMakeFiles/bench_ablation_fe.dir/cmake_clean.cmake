@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fe.dir/bench_ablation_fe.cpp.o"
+  "CMakeFiles/bench_ablation_fe.dir/bench_ablation_fe.cpp.o.d"
+  "bench_ablation_fe"
+  "bench_ablation_fe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

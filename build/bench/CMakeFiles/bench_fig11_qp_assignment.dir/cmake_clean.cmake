@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_qp_assignment.dir/bench_fig11_qp_assignment.cpp.o"
+  "CMakeFiles/bench_fig11_qp_assignment.dir/bench_fig11_qp_assignment.cpp.o.d"
+  "bench_fig11_qp_assignment"
+  "bench_fig11_qp_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_qp_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_foreground.dir/bench_fig12_foreground.cpp.o"
+  "CMakeFiles/bench_fig12_foreground.dir/bench_fig12_foreground.cpp.o.d"
+  "bench_fig12_foreground"
+  "bench_fig12_foreground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_foreground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

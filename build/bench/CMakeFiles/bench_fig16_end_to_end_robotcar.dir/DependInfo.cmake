@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig16_end_to_end_robotcar.cpp" "bench/CMakeFiles/bench_fig16_end_to_end_robotcar.dir/bench_fig16_end_to_end_robotcar.cpp.o" "gcc" "bench/CMakeFiles/bench_fig16_end_to_end_robotcar.dir/bench_fig16_end_to_end_robotcar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dive_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dive_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dive_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dive_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/dive_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dive_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/dive_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/dive_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dive_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dive_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_end_to_end_robotcar.dir/bench_fig16_end_to_end_robotcar.cpp.o"
+  "CMakeFiles/bench_fig16_end_to_end_robotcar.dir/bench_fig16_end_to_end_robotcar.cpp.o.d"
+  "bench_fig16_end_to_end_robotcar"
+  "bench_fig16_end_to_end_robotcar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_end_to_end_robotcar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig16_end_to_end_robotcar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_end_to_end_nuscenes.dir/bench_fig17_end_to_end_nuscenes.cpp.o"
+  "CMakeFiles/bench_fig17_end_to_end_nuscenes.dir/bench_fig17_end_to_end_nuscenes.cpp.o.d"
+  "bench_fig17_end_to_end_nuscenes"
+  "bench_fig17_end_to_end_nuscenes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_end_to_end_nuscenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

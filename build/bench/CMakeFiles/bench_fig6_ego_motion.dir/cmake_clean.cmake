@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ego_motion.dir/bench_fig6_ego_motion.cpp.o"
+  "CMakeFiles/bench_fig6_ego_motion.dir/bench_fig6_ego_motion.cpp.o.d"
+  "bench_fig6_ego_motion"
+  "bench_fig6_ego_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ego_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_rsampling.dir/bench_fig7_rsampling.cpp.o"
+  "CMakeFiles/bench_fig7_rsampling.dir/bench_fig7_rsampling.cpp.o.d"
+  "bench_fig7_rsampling"
+  "bench_fig7_rsampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rsampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

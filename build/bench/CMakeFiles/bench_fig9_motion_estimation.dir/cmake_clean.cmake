@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_motion_estimation.dir/bench_fig9_motion_estimation.cpp.o"
+  "CMakeFiles/bench_fig9_motion_estimation.dir/bench_fig9_motion_estimation.cpp.o.d"
+  "bench_fig9_motion_estimation"
+  "bench_fig9_motion_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_motion_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driving_analytics.dir/driving_analytics.cpp.o"
+  "CMakeFiles/driving_analytics.dir/driving_analytics.cpp.o.d"
+  "driving_analytics"
+  "driving_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driving_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

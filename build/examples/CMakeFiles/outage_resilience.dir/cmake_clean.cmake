@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_resilience.dir/outage_resilience.cpp.o"
+  "CMakeFiles/outage_resilience.dir/outage_resilience.cpp.o.d"
+  "outage_resilience"
+  "outage_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dds.cpp" "src/baselines/CMakeFiles/dive_baselines.dir/dds.cpp.o" "gcc" "src/baselines/CMakeFiles/dive_baselines.dir/dds.cpp.o.d"
+  "/root/repo/src/baselines/eaar.cpp" "src/baselines/CMakeFiles/dive_baselines.dir/eaar.cpp.o" "gcc" "src/baselines/CMakeFiles/dive_baselines.dir/eaar.cpp.o.d"
+  "/root/repo/src/baselines/keyframe_scheme.cpp" "src/baselines/CMakeFiles/dive_baselines.dir/keyframe_scheme.cpp.o" "gcc" "src/baselines/CMakeFiles/dive_baselines.dir/keyframe_scheme.cpp.o.d"
+  "/root/repo/src/baselines/o3.cpp" "src/baselines/CMakeFiles/dive_baselines.dir/o3.cpp.o" "gcc" "src/baselines/CMakeFiles/dive_baselines.dir/o3.cpp.o.d"
+  "/root/repo/src/baselines/raw_stream.cpp" "src/baselines/CMakeFiles/dive_baselines.dir/raw_stream.cpp.o" "gcc" "src/baselines/CMakeFiles/dive_baselines.dir/raw_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dive_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/dive_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/dive_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dive_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/dive_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dive_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dive_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

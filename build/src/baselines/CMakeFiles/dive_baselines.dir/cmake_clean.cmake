@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dive_baselines.dir/dds.cpp.o"
+  "CMakeFiles/dive_baselines.dir/dds.cpp.o.d"
+  "CMakeFiles/dive_baselines.dir/eaar.cpp.o"
+  "CMakeFiles/dive_baselines.dir/eaar.cpp.o.d"
+  "CMakeFiles/dive_baselines.dir/keyframe_scheme.cpp.o"
+  "CMakeFiles/dive_baselines.dir/keyframe_scheme.cpp.o.d"
+  "CMakeFiles/dive_baselines.dir/o3.cpp.o"
+  "CMakeFiles/dive_baselines.dir/o3.cpp.o.d"
+  "CMakeFiles/dive_baselines.dir/raw_stream.cpp.o"
+  "CMakeFiles/dive_baselines.dir/raw_stream.cpp.o.d"
+  "libdive_baselines.a"
+  "libdive_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dive_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

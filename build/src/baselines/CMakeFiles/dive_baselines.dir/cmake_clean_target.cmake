@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdive_baselines.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/bitstream.cpp" "src/codec/CMakeFiles/dive_codec.dir/bitstream.cpp.o" "gcc" "src/codec/CMakeFiles/dive_codec.dir/bitstream.cpp.o.d"
+  "/root/repo/src/codec/dct.cpp" "src/codec/CMakeFiles/dive_codec.dir/dct.cpp.o" "gcc" "src/codec/CMakeFiles/dive_codec.dir/dct.cpp.o.d"
+  "/root/repo/src/codec/decoder.cpp" "src/codec/CMakeFiles/dive_codec.dir/decoder.cpp.o" "gcc" "src/codec/CMakeFiles/dive_codec.dir/decoder.cpp.o.d"
+  "/root/repo/src/codec/encoder.cpp" "src/codec/CMakeFiles/dive_codec.dir/encoder.cpp.o" "gcc" "src/codec/CMakeFiles/dive_codec.dir/encoder.cpp.o.d"
+  "/root/repo/src/codec/motion_search.cpp" "src/codec/CMakeFiles/dive_codec.dir/motion_search.cpp.o" "gcc" "src/codec/CMakeFiles/dive_codec.dir/motion_search.cpp.o.d"
+  "/root/repo/src/codec/quant.cpp" "src/codec/CMakeFiles/dive_codec.dir/quant.cpp.o" "gcc" "src/codec/CMakeFiles/dive_codec.dir/quant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/video/CMakeFiles/dive_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dive_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dive_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

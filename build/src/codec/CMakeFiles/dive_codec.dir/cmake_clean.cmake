@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dive_codec.dir/bitstream.cpp.o"
+  "CMakeFiles/dive_codec.dir/bitstream.cpp.o.d"
+  "CMakeFiles/dive_codec.dir/dct.cpp.o"
+  "CMakeFiles/dive_codec.dir/dct.cpp.o.d"
+  "CMakeFiles/dive_codec.dir/decoder.cpp.o"
+  "CMakeFiles/dive_codec.dir/decoder.cpp.o.d"
+  "CMakeFiles/dive_codec.dir/encoder.cpp.o"
+  "CMakeFiles/dive_codec.dir/encoder.cpp.o.d"
+  "CMakeFiles/dive_codec.dir/motion_search.cpp.o"
+  "CMakeFiles/dive_codec.dir/motion_search.cpp.o.d"
+  "CMakeFiles/dive_codec.dir/quant.cpp.o"
+  "CMakeFiles/dive_codec.dir/quant.cpp.o.d"
+  "libdive_codec.a"
+  "libdive_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dive_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

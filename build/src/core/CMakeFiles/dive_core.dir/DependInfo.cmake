@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agent.cpp" "src/core/CMakeFiles/dive_core.dir/agent.cpp.o" "gcc" "src/core/CMakeFiles/dive_core.dir/agent.cpp.o.d"
+  "/root/repo/src/core/bandwidth_estimator.cpp" "src/core/CMakeFiles/dive_core.dir/bandwidth_estimator.cpp.o" "gcc" "src/core/CMakeFiles/dive_core.dir/bandwidth_estimator.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/dive_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/dive_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/foe_estimator.cpp" "src/core/CMakeFiles/dive_core.dir/foe_estimator.cpp.o" "gcc" "src/core/CMakeFiles/dive_core.dir/foe_estimator.cpp.o.d"
+  "/root/repo/src/core/foreground_extractor.cpp" "src/core/CMakeFiles/dive_core.dir/foreground_extractor.cpp.o" "gcc" "src/core/CMakeFiles/dive_core.dir/foreground_extractor.cpp.o.d"
+  "/root/repo/src/core/ground_estimator.cpp" "src/core/CMakeFiles/dive_core.dir/ground_estimator.cpp.o" "gcc" "src/core/CMakeFiles/dive_core.dir/ground_estimator.cpp.o.d"
+  "/root/repo/src/core/offline_tracker.cpp" "src/core/CMakeFiles/dive_core.dir/offline_tracker.cpp.o" "gcc" "src/core/CMakeFiles/dive_core.dir/offline_tracker.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/core/CMakeFiles/dive_core.dir/preprocess.cpp.o" "gcc" "src/core/CMakeFiles/dive_core.dir/preprocess.cpp.o.d"
+  "/root/repo/src/core/qp_assigner.cpp" "src/core/CMakeFiles/dive_core.dir/qp_assigner.cpp.o" "gcc" "src/core/CMakeFiles/dive_core.dir/qp_assigner.cpp.o.d"
+  "/root/repo/src/core/rotation_estimator.cpp" "src/core/CMakeFiles/dive_core.dir/rotation_estimator.cpp.o" "gcc" "src/core/CMakeFiles/dive_core.dir/rotation_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/dive_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/dive_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dive_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/dive_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dive_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dive_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dive_core.dir/agent.cpp.o"
+  "CMakeFiles/dive_core.dir/agent.cpp.o.d"
+  "CMakeFiles/dive_core.dir/bandwidth_estimator.cpp.o"
+  "CMakeFiles/dive_core.dir/bandwidth_estimator.cpp.o.d"
+  "CMakeFiles/dive_core.dir/clustering.cpp.o"
+  "CMakeFiles/dive_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/dive_core.dir/foe_estimator.cpp.o"
+  "CMakeFiles/dive_core.dir/foe_estimator.cpp.o.d"
+  "CMakeFiles/dive_core.dir/foreground_extractor.cpp.o"
+  "CMakeFiles/dive_core.dir/foreground_extractor.cpp.o.d"
+  "CMakeFiles/dive_core.dir/ground_estimator.cpp.o"
+  "CMakeFiles/dive_core.dir/ground_estimator.cpp.o.d"
+  "CMakeFiles/dive_core.dir/offline_tracker.cpp.o"
+  "CMakeFiles/dive_core.dir/offline_tracker.cpp.o.d"
+  "CMakeFiles/dive_core.dir/preprocess.cpp.o"
+  "CMakeFiles/dive_core.dir/preprocess.cpp.o.d"
+  "CMakeFiles/dive_core.dir/qp_assigner.cpp.o"
+  "CMakeFiles/dive_core.dir/qp_assigner.cpp.o.d"
+  "CMakeFiles/dive_core.dir/rotation_estimator.cpp.o"
+  "CMakeFiles/dive_core.dir/rotation_estimator.cpp.o.d"
+  "libdive_core.a"
+  "libdive_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dive_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

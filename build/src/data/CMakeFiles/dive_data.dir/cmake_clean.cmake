@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dive_data.dir/dataset.cpp.o"
+  "CMakeFiles/dive_data.dir/dataset.cpp.o.d"
+  "libdive_data.a"
+  "libdive_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dive_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/detector.cpp" "src/edge/CMakeFiles/dive_edge.dir/detector.cpp.o" "gcc" "src/edge/CMakeFiles/dive_edge.dir/detector.cpp.o.d"
+  "/root/repo/src/edge/evaluator.cpp" "src/edge/CMakeFiles/dive_edge.dir/evaluator.cpp.o" "gcc" "src/edge/CMakeFiles/dive_edge.dir/evaluator.cpp.o.d"
+  "/root/repo/src/edge/server.cpp" "src/edge/CMakeFiles/dive_edge.dir/server.cpp.o" "gcc" "src/edge/CMakeFiles/dive_edge.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/dive_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/dive_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dive_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dive_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dive_edge.dir/detector.cpp.o"
+  "CMakeFiles/dive_edge.dir/detector.cpp.o.d"
+  "CMakeFiles/dive_edge.dir/evaluator.cpp.o"
+  "CMakeFiles/dive_edge.dir/evaluator.cpp.o.d"
+  "CMakeFiles/dive_edge.dir/server.cpp.o"
+  "CMakeFiles/dive_edge.dir/server.cpp.o.d"
+  "libdive_edge.a"
+  "libdive_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dive_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

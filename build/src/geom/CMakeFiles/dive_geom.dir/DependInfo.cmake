@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/box.cpp" "src/geom/CMakeFiles/dive_geom.dir/box.cpp.o" "gcc" "src/geom/CMakeFiles/dive_geom.dir/box.cpp.o.d"
+  "/root/repo/src/geom/convex_hull.cpp" "src/geom/CMakeFiles/dive_geom.dir/convex_hull.cpp.o" "gcc" "src/geom/CMakeFiles/dive_geom.dir/convex_hull.cpp.o.d"
+  "/root/repo/src/geom/least_squares.cpp" "src/geom/CMakeFiles/dive_geom.dir/least_squares.cpp.o" "gcc" "src/geom/CMakeFiles/dive_geom.dir/least_squares.cpp.o.d"
+  "/root/repo/src/geom/pinhole_camera.cpp" "src/geom/CMakeFiles/dive_geom.dir/pinhole_camera.cpp.o" "gcc" "src/geom/CMakeFiles/dive_geom.dir/pinhole_camera.cpp.o.d"
+  "/root/repo/src/geom/polygon.cpp" "src/geom/CMakeFiles/dive_geom.dir/polygon.cpp.o" "gcc" "src/geom/CMakeFiles/dive_geom.dir/polygon.cpp.o.d"
+  "/root/repo/src/geom/triangle_threshold.cpp" "src/geom/CMakeFiles/dive_geom.dir/triangle_threshold.cpp.o" "gcc" "src/geom/CMakeFiles/dive_geom.dir/triangle_threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dive_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

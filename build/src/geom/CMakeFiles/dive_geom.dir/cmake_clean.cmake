@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dive_geom.dir/box.cpp.o"
+  "CMakeFiles/dive_geom.dir/box.cpp.o.d"
+  "CMakeFiles/dive_geom.dir/convex_hull.cpp.o"
+  "CMakeFiles/dive_geom.dir/convex_hull.cpp.o.d"
+  "CMakeFiles/dive_geom.dir/least_squares.cpp.o"
+  "CMakeFiles/dive_geom.dir/least_squares.cpp.o.d"
+  "CMakeFiles/dive_geom.dir/pinhole_camera.cpp.o"
+  "CMakeFiles/dive_geom.dir/pinhole_camera.cpp.o.d"
+  "CMakeFiles/dive_geom.dir/polygon.cpp.o"
+  "CMakeFiles/dive_geom.dir/polygon.cpp.o.d"
+  "CMakeFiles/dive_geom.dir/triangle_threshold.cpp.o"
+  "CMakeFiles/dive_geom.dir/triangle_threshold.cpp.o.d"
+  "libdive_geom.a"
+  "libdive_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dive_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

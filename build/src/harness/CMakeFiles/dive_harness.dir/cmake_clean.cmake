@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dive_harness.dir/experiment.cpp.o"
+  "CMakeFiles/dive_harness.dir/experiment.cpp.o.d"
+  "libdive_harness.a"
+  "libdive_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dive_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dive_net.dir/bandwidth.cpp.o"
+  "CMakeFiles/dive_net.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/dive_net.dir/uplink.cpp.o"
+  "CMakeFiles/dive_net.dir/uplink.cpp.o.d"
+  "libdive_net.a"
+  "libdive_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dive_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

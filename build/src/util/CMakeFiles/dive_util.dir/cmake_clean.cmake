@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dive_util.dir/histogram.cpp.o"
+  "CMakeFiles/dive_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/dive_util.dir/logging.cpp.o"
+  "CMakeFiles/dive_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dive_util.dir/rng.cpp.o"
+  "CMakeFiles/dive_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dive_util.dir/stats.cpp.o"
+  "CMakeFiles/dive_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dive_util.dir/table.cpp.o"
+  "CMakeFiles/dive_util.dir/table.cpp.o.d"
+  "libdive_util.a"
+  "libdive_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dive_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

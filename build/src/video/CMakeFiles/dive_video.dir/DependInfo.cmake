@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/frame.cpp" "src/video/CMakeFiles/dive_video.dir/frame.cpp.o" "gcc" "src/video/CMakeFiles/dive_video.dir/frame.cpp.o.d"
+  "/root/repo/src/video/image_ops.cpp" "src/video/CMakeFiles/dive_video.dir/image_ops.cpp.o" "gcc" "src/video/CMakeFiles/dive_video.dir/image_ops.cpp.o.d"
+  "/root/repo/src/video/imu.cpp" "src/video/CMakeFiles/dive_video.dir/imu.cpp.o" "gcc" "src/video/CMakeFiles/dive_video.dir/imu.cpp.o.d"
+  "/root/repo/src/video/renderer.cpp" "src/video/CMakeFiles/dive_video.dir/renderer.cpp.o" "gcc" "src/video/CMakeFiles/dive_video.dir/renderer.cpp.o.d"
+  "/root/repo/src/video/scene.cpp" "src/video/CMakeFiles/dive_video.dir/scene.cpp.o" "gcc" "src/video/CMakeFiles/dive_video.dir/scene.cpp.o.d"
+  "/root/repo/src/video/trajectory.cpp" "src/video/CMakeFiles/dive_video.dir/trajectory.cpp.o" "gcc" "src/video/CMakeFiles/dive_video.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/dive_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dive_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

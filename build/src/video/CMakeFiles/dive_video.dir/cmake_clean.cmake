@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dive_video.dir/frame.cpp.o"
+  "CMakeFiles/dive_video.dir/frame.cpp.o.d"
+  "CMakeFiles/dive_video.dir/image_ops.cpp.o"
+  "CMakeFiles/dive_video.dir/image_ops.cpp.o.d"
+  "CMakeFiles/dive_video.dir/imu.cpp.o"
+  "CMakeFiles/dive_video.dir/imu.cpp.o.d"
+  "CMakeFiles/dive_video.dir/renderer.cpp.o"
+  "CMakeFiles/dive_video.dir/renderer.cpp.o.d"
+  "CMakeFiles/dive_video.dir/scene.cpp.o"
+  "CMakeFiles/dive_video.dir/scene.cpp.o.d"
+  "CMakeFiles/dive_video.dir/trajectory.cpp.o"
+  "CMakeFiles/dive_video.dir/trajectory.cpp.o.d"
+  "libdive_video.a"
+  "libdive_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dive_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_test.dir/codec/bitstream_test.cpp.o"
+  "CMakeFiles/codec_test.dir/codec/bitstream_test.cpp.o.d"
+  "CMakeFiles/codec_test.dir/codec/dct_test.cpp.o"
+  "CMakeFiles/codec_test.dir/codec/dct_test.cpp.o.d"
+  "CMakeFiles/codec_test.dir/codec/motion_search_test.cpp.o"
+  "CMakeFiles/codec_test.dir/codec/motion_search_test.cpp.o.d"
+  "CMakeFiles/codec_test.dir/codec/quant_test.cpp.o"
+  "CMakeFiles/codec_test.dir/codec/quant_test.cpp.o.d"
+  "CMakeFiles/codec_test.dir/codec/rate_control_test.cpp.o"
+  "CMakeFiles/codec_test.dir/codec/rate_control_test.cpp.o.d"
+  "CMakeFiles/codec_test.dir/codec/roundtrip_test.cpp.o"
+  "CMakeFiles/codec_test.dir/codec/roundtrip_test.cpp.o.d"
+  "codec_test"
+  "codec_test.pdb"
+  "codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bandwidth_estimator_test.cpp" "tests/CMakeFiles/core_test.dir/core/bandwidth_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/bandwidth_estimator_test.cpp.o.d"
+  "/root/repo/tests/core/clustering_test.cpp" "tests/CMakeFiles/core_test.dir/core/clustering_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/clustering_test.cpp.o.d"
+  "/root/repo/tests/core/foe_estimator_test.cpp" "tests/CMakeFiles/core_test.dir/core/foe_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/foe_estimator_test.cpp.o.d"
+  "/root/repo/tests/core/foreground_extractor_test.cpp" "tests/CMakeFiles/core_test.dir/core/foreground_extractor_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/foreground_extractor_test.cpp.o.d"
+  "/root/repo/tests/core/ground_estimator_test.cpp" "tests/CMakeFiles/core_test.dir/core/ground_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ground_estimator_test.cpp.o.d"
+  "/root/repo/tests/core/motion_model_test.cpp" "tests/CMakeFiles/core_test.dir/core/motion_model_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/motion_model_test.cpp.o.d"
+  "/root/repo/tests/core/offline_tracker_test.cpp" "tests/CMakeFiles/core_test.dir/core/offline_tracker_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/offline_tracker_test.cpp.o.d"
+  "/root/repo/tests/core/preprocess_test.cpp" "tests/CMakeFiles/core_test.dir/core/preprocess_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/preprocess_test.cpp.o.d"
+  "/root/repo/tests/core/qp_assigner_test.cpp" "tests/CMakeFiles/core_test.dir/core/qp_assigner_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/qp_assigner_test.cpp.o.d"
+  "/root/repo/tests/core/rotation_estimator_test.cpp" "tests/CMakeFiles/core_test.dir/core/rotation_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rotation_estimator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dive_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dive_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dive_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dive_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/dive_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dive_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/dive_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/dive_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dive_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dive_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

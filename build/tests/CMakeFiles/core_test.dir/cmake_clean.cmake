@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/bandwidth_estimator_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/bandwidth_estimator_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/clustering_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/clustering_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/foe_estimator_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/foe_estimator_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/foreground_extractor_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/foreground_extractor_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ground_estimator_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/ground_estimator_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/motion_model_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/motion_model_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/offline_tracker_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/offline_tracker_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/preprocess_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/preprocess_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/qp_assigner_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/qp_assigner_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/rotation_estimator_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/rotation_estimator_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_test.dir/edge/detector_test.cpp.o"
+  "CMakeFiles/edge_test.dir/edge/detector_test.cpp.o.d"
+  "CMakeFiles/edge_test.dir/edge/evaluator_test.cpp.o"
+  "CMakeFiles/edge_test.dir/edge/evaluator_test.cpp.o.d"
+  "CMakeFiles/edge_test.dir/edge/server_test.cpp.o"
+  "CMakeFiles/edge_test.dir/edge/server_test.cpp.o.d"
+  "edge_test"
+  "edge_test.pdb"
+  "edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

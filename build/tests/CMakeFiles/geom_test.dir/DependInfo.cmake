@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geom/box_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/box_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/box_test.cpp.o.d"
+  "/root/repo/tests/geom/camera_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/camera_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/camera_test.cpp.o.d"
+  "/root/repo/tests/geom/convex_hull_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/convex_hull_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/convex_hull_test.cpp.o.d"
+  "/root/repo/tests/geom/least_squares_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/least_squares_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/least_squares_test.cpp.o.d"
+  "/root/repo/tests/geom/polygon_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/polygon_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/polygon_test.cpp.o.d"
+  "/root/repo/tests/geom/ransac_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/ransac_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/ransac_test.cpp.o.d"
+  "/root/repo/tests/geom/triangle_threshold_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/triangle_threshold_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/triangle_threshold_test.cpp.o.d"
+  "/root/repo/tests/geom/vec_test.cpp" "tests/CMakeFiles/geom_test.dir/geom/vec_test.cpp.o" "gcc" "tests/CMakeFiles/geom_test.dir/geom/vec_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dive_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dive_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dive_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dive_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/dive_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dive_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/dive_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/dive_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dive_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dive_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_test.dir/geom/box_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/box_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/camera_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/camera_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/convex_hull_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/convex_hull_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/least_squares_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/least_squares_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/polygon_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/polygon_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/ransac_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/ransac_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/triangle_threshold_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/triangle_threshold_test.cpp.o.d"
+  "CMakeFiles/geom_test.dir/geom/vec_test.cpp.o"
+  "CMakeFiles/geom_test.dir/geom/vec_test.cpp.o.d"
+  "geom_test"
+  "geom_test.pdb"
+  "geom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/histogram_test.cpp" "tests/CMakeFiles/util_test.dir/util/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/histogram_test.cpp.o.d"
+  "/root/repo/tests/util/logging_test.cpp" "tests/CMakeFiles/util_test.dir/util/logging_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/logging_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/sim_clock_test.cpp" "tests/CMakeFiles/util_test.dir/util/sim_clock_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/sim_clock_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/util_test.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dive_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dive_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dive_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dive_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/dive_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dive_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/dive_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/dive_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dive_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dive_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

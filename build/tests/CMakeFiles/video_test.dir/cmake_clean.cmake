@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_test.dir/video/frame_test.cpp.o"
+  "CMakeFiles/video_test.dir/video/frame_test.cpp.o.d"
+  "CMakeFiles/video_test.dir/video/image_ops_test.cpp.o"
+  "CMakeFiles/video_test.dir/video/image_ops_test.cpp.o.d"
+  "CMakeFiles/video_test.dir/video/imu_test.cpp.o"
+  "CMakeFiles/video_test.dir/video/imu_test.cpp.o.d"
+  "CMakeFiles/video_test.dir/video/renderer_test.cpp.o"
+  "CMakeFiles/video_test.dir/video/renderer_test.cpp.o.d"
+  "CMakeFiles/video_test.dir/video/scene_test.cpp.o"
+  "CMakeFiles/video_test.dir/video/scene_test.cpp.o.d"
+  "CMakeFiles/video_test.dir/video/trajectory_test.cpp.o"
+  "CMakeFiles/video_test.dir/video/trajectory_test.cpp.o.d"
+  "video_test"
+  "video_test.pdb"
+  "video_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
