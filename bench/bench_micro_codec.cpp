@@ -3,12 +3,15 @@
 // frame encode/decode.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "codec/dct.h"
 #include "codec/decoder.h"
 #include "codec/encoder.h"
 #include "codec/motion_search.h"
 #include "codec/quant.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -93,6 +96,28 @@ void BM_EncodeInter(benchmark::State& state) {
 }
 BENCHMARK(BM_EncodeInter);
 
+void BM_EncodeInterThreads(benchmark::State& state) {
+  codec::Encoder enc(
+      {.width = 256, .height = 128, .threads = static_cast<int>(state.range(0))});
+  enc.encode(textured_frame(256, 128, 7), 26);
+  const auto frame = textured_frame(256, 128, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(frame, 26));
+  }
+}
+BENCHMARK(BM_EncodeInterThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_MotionSearchThreads(benchmark::State& state) {
+  const auto cur = textured_frame(256, 128, 5);
+  const auto ref = textured_frame(256, 128, 6);
+  const codec::MotionSearcher searcher;
+  util::ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(searcher.search_frame(cur.y, ref.y, &pool));
+  }
+}
+BENCHMARK(BM_MotionSearchThreads)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_EncodeToTarget(benchmark::State& state) {
   codec::Encoder enc({.width = 256, .height = 128});
   enc.encode(textured_frame(256, 128, 9), 26);
@@ -102,6 +127,27 @@ void BM_EncodeToTarget(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EncodeToTarget);
+
+void BM_EncodeToTargetReuse(benchmark::State& state) {
+  codec::Encoder enc({.width = 256,
+                      .height = 128,
+                      .reuse_trials = state.range(0) != 0});
+  enc.encode(textured_frame(256, 128, 9), 26);
+  const auto frame = textured_frame(256, 128, 10);
+  int trials = 0, full_passes = 0, iters = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode_to_target(frame, 6000));
+    trials += enc.rate_control_stats().trials_attempted;
+    full_passes += enc.rate_control_stats().full_transform_passes;
+    ++iters;
+  }
+  state.counters["trials/frame"] =
+      static_cast<double>(trials) / std::max(iters, 1);
+  state.counters["full_passes/frame"] =
+      static_cast<double>(full_passes) / std::max(iters, 1);
+  state.SetLabel(state.range(0) != 0 ? "reuse" : "no-reuse");
+}
+BENCHMARK(BM_EncodeToTargetReuse)->Arg(0)->Arg(1);
 
 void BM_Decode(benchmark::State& state) {
   codec::Encoder enc({.width = 256, .height = 128});

@@ -242,15 +242,32 @@ bench/CMakeFiles/bench_fig6_ego_motion.dir/bench_fig6_ego_motion.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/baselines/dds.h /root/repo/src/codec/encoder.h \
- /root/repo/src/codec/motion_search.h /root/repo/src/codec/types.h \
- /root/repo/src/core/bandwidth_estimator.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/util/sim_clock.h /root/repo/src/core/scheme.h \
- /usr/include/c++/12/cstddef /root/repo/src/edge/detection.h \
- /root/repo/src/edge/server.h /usr/include/c++/12/span \
- /root/repo/src/codec/decoder.h /root/repo/src/edge/detector.h \
- /root/repo/src/net/uplink.h /root/repo/src/net/bandwidth.h \
- /root/repo/src/baselines/eaar.h \
+ /root/repo/src/codec/dct.h /root/repo/src/codec/motion_search.h \
+ /root/repo/src/codec/types.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/core/bandwidth_estimator.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/sim_clock.h \
+ /root/repo/src/core/scheme.h /usr/include/c++/12/cstddef \
+ /root/repo/src/edge/detection.h /root/repo/src/edge/server.h \
+ /usr/include/c++/12/span /root/repo/src/codec/decoder.h \
+ /root/repo/src/edge/detector.h /root/repo/src/net/uplink.h \
+ /root/repo/src/net/bandwidth.h /root/repo/src/baselines/eaar.h \
  /root/repo/src/baselines/keyframe_scheme.h \
  /root/repo/src/core/offline_tracker.h /root/repo/src/baselines/o3.h \
  /root/repo/src/baselines/raw_stream.h /root/repo/src/core/agent.h \
@@ -258,12 +275,6 @@ bench/CMakeFiles/bench_fig6_ego_motion.dir/bench_fig6_ego_motion.cpp.o: \
  /root/repo/src/core/clustering.h /root/repo/src/core/preprocess.h \
  /root/repo/src/core/motion_model.h \
  /root/repo/src/core/rotation_estimator.h /root/repo/src/geom/ransac.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/core/ground_estimator.h /root/repo/src/core/qp_assigner.h \
  /root/repo/src/edge/evaluator.h /root/repo/src/util/stats.h \
  /root/repo/src/util/table.h

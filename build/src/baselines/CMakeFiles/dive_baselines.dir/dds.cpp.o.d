@@ -195,11 +195,10 @@ src/baselines/CMakeFiles/dive_baselines.dir/dds.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/codec/encoder.h \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/codec/motion_search.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/codec/dct.h \
+ /usr/include/c++/12/array /root/repo/src/codec/motion_search.h \
  /root/repo/src/codec/types.h /root/repo/src/geom/vec.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -224,16 +223,33 @@ src/baselines/CMakeFiles/dive_baselines.dir/dds.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/video/frame.h \
- /root/repo/src/core/bandwidth_estimator.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/util/sim_clock.h /root/repo/src/core/scheme.h \
- /usr/include/c++/12/cstddef /root/repo/src/edge/detection.h \
- /root/repo/src/geom/box.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/core/bandwidth_estimator.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/sim_clock.h \
+ /root/repo/src/core/scheme.h /usr/include/c++/12/cstddef \
+ /root/repo/src/edge/detection.h /root/repo/src/geom/box.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/video/scene.h /root/repo/src/util/rng.h \
@@ -243,7 +259,7 @@ src/baselines/CMakeFiles/dive_baselines.dir/dds.cpp.o: \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/video/trajectory.h /root/repo/src/geom/pinhole_camera.h \
- /root/repo/src/edge/server.h /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/codec/decoder.h \
+ /usr/include/c++/12/optional /root/repo/src/edge/server.h \
+ /usr/include/c++/12/span /root/repo/src/codec/decoder.h \
  /root/repo/src/edge/detector.h /root/repo/src/net/uplink.h \
  /root/repo/src/net/bandwidth.h

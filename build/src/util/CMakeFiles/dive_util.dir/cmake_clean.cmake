@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dive_util.dir/stats.cpp.o.d"
   "CMakeFiles/dive_util.dir/table.cpp.o"
   "CMakeFiles/dive_util.dir/table.cpp.o.d"
+  "CMakeFiles/dive_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dive_util.dir/thread_pool.cpp.o.d"
   "libdive_util.a"
   "libdive_util.pdb"
 )

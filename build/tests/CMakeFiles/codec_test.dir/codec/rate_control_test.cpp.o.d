@@ -293,9 +293,9 @@ tests/CMakeFiles/codec_test.dir/codec/rate_control_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/codec/encoder.h /root/repo/src/codec/motion_search.h \
- /root/repo/src/codec/types.h /root/repo/src/geom/vec.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/codec/encoder.h /root/repo/src/codec/dct.h \
+ /root/repo/src/codec/motion_search.h /root/repo/src/codec/types.h \
+ /root/repo/src/geom/vec.h /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -317,8 +317,17 @@ tests/CMakeFiles/codec_test.dir/codec/rate_control_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/video/frame.h \
- /root/repo/src/util/rng.h /usr/include/c++/12/random \
- /usr/include/c++/12/bits/random.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/util/rng.h \
+ /usr/include/c++/12/random /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \

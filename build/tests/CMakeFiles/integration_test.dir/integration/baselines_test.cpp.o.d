@@ -331,8 +331,18 @@ tests/CMakeFiles/integration_test.dir/integration/baselines_test.cpp.o: \
  /root/repo/src/video/frame.h /root/repo/src/video/scene.h \
  /root/repo/src/edge/evaluator.h /root/repo/src/edge/detection.h \
  /root/repo/src/harness/experiment.h /root/repo/src/baselines/dds.h \
- /root/repo/src/codec/encoder.h /root/repo/src/codec/motion_search.h \
- /root/repo/src/codec/types.h /root/repo/src/core/bandwidth_estimator.h \
+ /root/repo/src/codec/encoder.h /root/repo/src/codec/dct.h \
+ /root/repo/src/codec/motion_search.h /root/repo/src/codec/types.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/core/bandwidth_estimator.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/sim_clock.h \
  /root/repo/src/core/scheme.h /root/repo/src/edge/server.h \

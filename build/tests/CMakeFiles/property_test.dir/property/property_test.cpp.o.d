@@ -317,8 +317,18 @@ tests/CMakeFiles/property_test.dir/property/property_test.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/codec/decoder.h \
  /usr/include/c++/12/span /root/repo/src/codec/types.h \
  /root/repo/src/geom/vec.h /root/repo/src/video/frame.h \
- /root/repo/src/codec/encoder.h /root/repo/src/codec/motion_search.h \
- /root/repo/src/core/preprocess.h /root/repo/src/core/motion_model.h \
+ /root/repo/src/codec/encoder.h /root/repo/src/codec/dct.h \
+ /root/repo/src/codec/motion_search.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/core/preprocess.h \
+ /root/repo/src/core/motion_model.h \
  /root/repo/src/core/rotation_estimator.h \
  /root/repo/src/geom/pinhole_camera.h /root/repo/src/geom/ransac.h \
  /root/repo/src/util/rng.h /usr/include/c++/12/random \

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threading_test.dir/codec/parallel_encoder_test.cpp.o"
+  "CMakeFiles/threading_test.dir/codec/parallel_encoder_test.cpp.o.d"
+  "CMakeFiles/threading_test.dir/util/thread_pool_test.cpp.o"
+  "CMakeFiles/threading_test.dir/util/thread_pool_test.cpp.o.d"
+  "threading_test"
+  "threading_test.pdb"
+  "threading_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threading_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

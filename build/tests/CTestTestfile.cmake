@@ -8,6 +8,7 @@ include("/root/repo/build/tests/util_test[1]_include.cmake")
 include("/root/repo/build/tests/geom_test[1]_include.cmake")
 include("/root/repo/build/tests/video_test[1]_include.cmake")
 include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/threading_test[1]_include.cmake")
 include("/root/repo/build/tests/net_test[1]_include.cmake")
 include("/root/repo/build/tests/edge_test[1]_include.cmake")
 include("/root/repo/build/tests/data_test[1]_include.cmake")

@@ -1,9 +1,15 @@
 #include "codec/encoder.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <map>
+#include <optional>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
+#include "codec/bitstream.h"
 #include "codec/block_io.h"
 #include "codec/dct.h"
 #include "codec/quant.h"
@@ -14,6 +20,7 @@ namespace dive::codec {
 namespace {
 
 constexpr int kMb = kMacroblockSize;
+constexpr int kBlocksPerMb = 6;  ///< 4 luma 8x8 + U + V
 
 std::uint8_t clamp_pixel(double v) {
   return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
@@ -59,18 +66,24 @@ Block8x8 const_predict(double v) {
   return p;
 }
 
-/// Transform + quantize the (src - pred) residual of one 8x8 block.
-/// Returns true when any level is nonzero.
-bool transform_block(const video::Plane& src, int bx, int by,
-                     const Block8x8& pred, int qp, QuantBlock& levels) {
+/// Forward DCT of the (src - pred) residual of one 8x8 block.
+void residual_dct(const video::Plane& src, int bx, int by,
+                  const Block8x8& pred, Block8x8& coeffs) {
   Block8x8 residual;
   for (int y = 0; y < kBlockSize; ++y)
     for (int x = 0; x < kBlockSize; ++x)
       residual[static_cast<std::size_t>(y * kBlockSize + x)] =
           static_cast<double>(src.at(bx + x, by + y)) -
           pred[static_cast<std::size_t>(y * kBlockSize + x)];
-  Block8x8 coeffs;
   forward_dct(residual, coeffs);
+}
+
+/// Transform + quantize the (src - pred) residual of one 8x8 block.
+/// Returns true when any level is nonzero.
+bool transform_block(const video::Plane& src, int bx, int by,
+                     const Block8x8& pred, int qp, QuantBlock& levels) {
+  Block8x8 coeffs;
+  residual_dct(src, bx, by, pred, coeffs);
   quantize(coeffs, qp, levels);
   return !all_zero(levels);
 }
@@ -93,6 +106,39 @@ void reconstruct_block(video::Plane& recon, int bx, int by,
                       res[static_cast<std::size_t>(y * kBlockSize + x)]);
 }
 
+/// Pixel geometry of the 6 coded 8x8 blocks of a macroblock.
+struct BlockGeometry {
+  int bx, by;
+  bool chroma;
+};
+
+std::array<BlockGeometry, kBlocksPerMb> mb_blocks(int col, int row) {
+  const int px = col * kMb;
+  const int py = row * kMb;
+  const int cx = px / 2;
+  const int cy = py / 2;
+  return {{{px, py, false},
+           {px + 8, py, false},
+           {px, py + 8, false},
+           {px + 8, py + 8, false},
+           {cx, cy, true},
+           {cx, cy, true}}};
+}
+
+void write_frame_header(BitWriter& bw, FrameType type, int base_qp,
+                        int mb_cols, int mb_rows) {
+  bw.put_bits(0xD1, 8);  // magic
+  bw.put_bit(type == FrameType::kInter);
+  bw.put_bits(static_cast<std::uint32_t>(base_qp), 6);
+  bw.put_ue(static_cast<std::uint32_t>(mb_cols));
+  bw.put_ue(static_cast<std::uint32_t>(mb_rows));
+}
+
+int mb_qp(int base_qp, const QpOffsetMap* offsets, int col, int row) {
+  if (offsets == nullptr || offsets->empty()) return base_qp;
+  return std::clamp(base_qp + offsets->at(col, row), kMinQp, kMaxQp);
+}
+
 }  // namespace
 
 const char* to_string(MotionSearchMethod m) {
@@ -113,11 +159,13 @@ Encoder::Encoder(EncoderConfig config)
     throw std::invalid_argument(
         "Encoder: frame dimensions must be positive multiples of 16");
   }
+  if (util::ThreadPool::resolve_thread_count(config_.threads) > 1)
+    pool_ = std::make_unique<util::ThreadPool>(config_.threads);
 }
 
 MotionField Encoder::analyze_motion(const video::Frame& src) const {
   if (!has_reference_) return {};
-  return searcher_.search_frame(src.y, reference_.y);
+  return searcher_.search_frame(src.y, reference_.y, pool_.get());
 }
 
 FrameType Encoder::next_frame_type() const {
@@ -127,9 +175,124 @@ FrameType Encoder::next_frame_type() const {
   return FrameType::kInter;
 }
 
-Encoder::Trial Encoder::run_trial(const video::Frame& src, FrameType type,
-                                  int base_qp, const QpOffsetMap* offsets,
-                                  const MotionField* motion) const {
+Encoder::InterPlan Encoder::build_inter_plan(const video::Frame& src,
+                                             const MotionField& motion) const {
+  const int mb_cols = config_.width / kMb;
+  const int mb_rows = config_.height / kMb;
+  const std::size_t mb_count =
+      static_cast<std::size_t>(mb_cols) * static_cast<std::size_t>(mb_rows);
+
+  InterPlan plan;
+  plan.preds.resize(mb_count * kBlocksPerMb);
+  plan.coeffs.resize(mb_count * kBlocksPerMb);
+
+  const auto plan_row = [&](int row) {
+    for (int col = 0; col < mb_cols; ++col) {
+      const std::size_t base =
+          (static_cast<std::size_t>(row) * mb_cols + col) * kBlocksPerMb;
+      const MotionVector mv = motion.at(col, row);
+      // Chroma planes are half resolution: halve the half-pel units.
+      const int cdx = mv.dx / 2;
+      const int cdy = mv.dy / 2;
+      const auto blocks = mb_blocks(col, row);
+      for (int b = 0; b < kBlocksPerMb; ++b) {
+        const auto& blk = blocks[static_cast<std::size_t>(b)];
+        const video::Plane& sp =
+            blk.chroma ? (b == 4 ? src.u : src.v) : src.y;
+        const video::Plane& rp =
+            blk.chroma ? (b == 4 ? reference_.u : reference_.v) : reference_.y;
+        plan.preds[base + static_cast<std::size_t>(b)] =
+            mc_predict(rp, blk.bx, blk.by, blk.chroma ? cdx : mv.dx,
+                       blk.chroma ? cdy : mv.dy);
+        residual_dct(sp, blk.bx, blk.by,
+                     plan.preds[base + static_cast<std::size_t>(b)],
+                     plan.coeffs[base + static_cast<std::size_t>(b)]);
+      }
+    }
+  };
+  if (pool_) pool_->parallel_for(0, mb_rows, plan_row);
+  else for (int row = 0; row < mb_rows; ++row) plan_row(row);
+  return plan;
+}
+
+Encoder::Trial Encoder::run_inter_trial(const InterPlan& plan, int base_qp,
+                                        const QpOffsetMap* offsets,
+                                        const MotionField& motion) const {
+  base_qp = std::clamp(base_qp, kMinQp, kMaxQp);
+  const int mb_cols = config_.width / kMb;
+  const int mb_rows = config_.height / kMb;
+  const std::size_t mb_count =
+      static_cast<std::size_t>(mb_cols) * static_cast<std::size_t>(mb_rows);
+
+  Trial trial;
+  trial.base_qp = base_qp;
+  trial.recon = video::Frame(config_.width, config_.height);
+
+  // Pass 1 (parallel by row): quantize the precomputed residual
+  // coefficients at this trial's QP and reconstruct. Each row writes a
+  // disjoint slice of the scratch arrays and the reconstruction.
+  std::vector<QuantBlock> levels(mb_count * kBlocksPerMb);
+  std::vector<int> cbp(mb_count, 0);
+  std::vector<int> qps(mb_count, base_qp);
+
+  const auto quant_row = [&](int row) {
+    for (int col = 0; col < mb_cols; ++col) {
+      const std::size_t mb = static_cast<std::size_t>(row) * mb_cols + col;
+      const std::size_t base = mb * kBlocksPerMb;
+      const int qp = mb_qp(base_qp, offsets, col, row);
+      qps[mb] = qp;
+      int mask = 0;
+      const auto blocks = mb_blocks(col, row);
+      for (int b = 0; b < kBlocksPerMb; ++b) {
+        const std::size_t i = base + static_cast<std::size_t>(b);
+        quantize(plan.coeffs[i], qp, levels[i]);
+        if (!all_zero(levels[i])) mask |= 1 << b;
+        const auto& blk = blocks[static_cast<std::size_t>(b)];
+        video::Plane& rp =
+            blk.chroma ? (b == 4 ? trial.recon.u : trial.recon.v)
+                       : trial.recon.y;
+        reconstruct_block(rp, blk.bx, blk.by, plan.preds[i],
+                          (mask & (1 << b)) ? &levels[i] : nullptr, qp);
+      }
+      cbp[mb] = mask;
+    }
+  };
+  if (pool_) pool_->parallel_for(0, mb_rows, quant_row);
+  else for (int row = 0; row < mb_rows; ++row) quant_row(row);
+
+  // Pass 2 (serial): raster-order bitstream emission. This is the only
+  // order-dependent state (prev_qp chain, MV prediction), so running it
+  // serially keeps the bytes bit-identical for every thread count.
+  BitWriter bw;
+  write_frame_header(bw, FrameType::kInter, base_qp, mb_cols, mb_rows);
+  int prev_qp = base_qp;
+  for (int row = 0; row < mb_rows; ++row) {
+    for (int col = 0; col < mb_cols; ++col) {
+      const std::size_t mb = static_cast<std::size_t>(row) * mb_cols + col;
+      const std::size_t base = mb * kBlocksPerMb;
+      const MotionVector mv = motion.at(col, row);
+      const bool skip = mv.is_zero() && cbp[mb] == 0;
+      bw.put_bit(skip);
+      if (skip) continue;
+      const MotionVector pred_mv =
+          col > 0 ? motion.at(col - 1, row) : MotionVector{};
+      bw.put_se(mv.dx - pred_mv.dx);
+      bw.put_se(mv.dy - pred_mv.dy);
+      bw.put_se(qps[mb] - prev_qp);
+      prev_qp = qps[mb];
+      bw.put_bits(static_cast<std::uint32_t>(cbp[mb]), 6);
+      for (int b = 0; b < kBlocksPerMb; ++b)
+        if (cbp[mb] & (1 << b))
+          write_block(bw, levels[base + static_cast<std::size_t>(b)]);
+    }
+  }
+
+  trial.data = bw.finish();
+  return trial;
+}
+
+Encoder::Trial Encoder::run_intra_trial(const video::Frame& src, int base_qp,
+                                        const QpOffsetMap* offsets) const {
   base_qp = std::clamp(base_qp, kMinQp, kMaxQp);
   const int mb_cols = config_.width / kMb;
   const int mb_rows = config_.height / kMb;
@@ -139,96 +302,32 @@ Encoder::Trial Encoder::run_trial(const video::Frame& src, FrameType type,
   trial.recon = video::Frame(config_.width, config_.height);
 
   BitWriter bw;
-  bw.put_bits(0xD1, 8);  // magic
-  bw.put_bit(type == FrameType::kInter);
-  bw.put_bits(static_cast<std::uint32_t>(base_qp), 6);
-  bw.put_ue(static_cast<std::uint32_t>(mb_cols));
-  bw.put_ue(static_cast<std::uint32_t>(mb_rows));
+  write_frame_header(bw, FrameType::kIntra, base_qp, mb_cols, mb_rows);
 
-  // Per-macroblock block geometry: 4 luma 8x8 + U + V.
-  struct BlockRef {
-    const video::Plane* src;
-    video::Plane* recon;
-    const video::Plane* ref;
-    int bx, by;
-    bool chroma;
-  };
-
+  // Intra macroblocks DC-predict from the running reconstruction, so
+  // transform/emit/reconstruct proceed strictly in raster order.
   int prev_qp = base_qp;
   for (int row = 0; row < mb_rows; ++row) {
     for (int col = 0; col < mb_cols; ++col) {
-      const int px = col * kMb;
-      const int py = row * kMb;
-      const int cx = px / 2;
-      const int cy = py / 2;
-      int qp = base_qp;
-      if (offsets != nullptr && !offsets->empty())
-        qp = std::clamp(base_qp + offsets->at(col, row), kMinQp, kMaxQp);
-
-      const BlockRef blocks[6] = {
-          {&src.y, &trial.recon.y, &reference_.y, px, py, false},
-          {&src.y, &trial.recon.y, &reference_.y, px + 8, py, false},
-          {&src.y, &trial.recon.y, &reference_.y, px, py + 8, false},
-          {&src.y, &trial.recon.y, &reference_.y, px + 8, py + 8, false},
-          {&src.u, &trial.recon.u, &reference_.u, cx, cy, true},
-          {&src.v, &trial.recon.v, &reference_.v, cx, cy, true},
-      };
-
-      if (type == FrameType::kInter) {
-        const MotionVector mv = motion->at(col, row);
-        // Chroma planes are half resolution: halve the half-pel units.
-        const int cdx = mv.dx / 2;
-        const int cdy = mv.dy / 2;
-
-        Block8x8 preds[6];
-        QuantBlock levels[6];
-        int cbp = 0;
-        for (int b = 0; b < 6; ++b) {
-          const auto& blk = blocks[b];
-          preds[b] = mc_predict(*blk.ref, blk.bx, blk.by,
-                                blk.chroma ? cdx : mv.dx,
-                                blk.chroma ? cdy : mv.dy);
-          if (transform_block(*blk.src, blk.bx, blk.by, preds[b], qp,
-                              levels[b]))
-            cbp |= 1 << b;
-        }
-
-        const bool skip = mv.is_zero() && cbp == 0;
-        bw.put_bit(skip);
-        if (!skip) {
-          const MotionVector pred_mv =
-              col > 0 ? motion->at(col - 1, row) : MotionVector{};
-          bw.put_se(mv.dx - pred_mv.dx);
-          bw.put_se(mv.dy - pred_mv.dy);
-          bw.put_se(qp - prev_qp);
-          prev_qp = qp;
-          bw.put_bits(static_cast<std::uint32_t>(cbp), 6);
-          for (int b = 0; b < 6; ++b)
-            if (cbp & (1 << b)) write_block(bw, levels[b]);
-        }
-        for (int b = 0; b < 6; ++b) {
-          const auto& blk = blocks[b];
-          reconstruct_block(*blk.recon, blk.bx, blk.by, preds[b],
-                            (cbp & (1 << b)) ? &levels[b] : nullptr, qp);
-        }
-      } else {
-        // Intra macroblock: DC-predicted 8x8 blocks. Prediction depends on
-        // the running reconstruction, so transform/emit/reconstruct
-        // proceed block by block.
-        bw.put_se(qp - prev_qp);
-        prev_qp = qp;
-        for (int b = 0; b < 6; ++b) {
-          const auto& blk = blocks[b];
-          const Block8x8 pred =
-              const_predict(dc_predict(*blk.recon, blk.bx, blk.by));
-          QuantBlock levels;
-          const bool coded =
-              transform_block(*blk.src, blk.bx, blk.by, pred, qp, levels);
-          bw.put_bit(coded);
-          if (coded) write_block(bw, levels);
-          reconstruct_block(*blk.recon, blk.bx, blk.by, pred,
-                            coded ? &levels : nullptr, qp);
-        }
+      const int qp = mb_qp(base_qp, offsets, col, row);
+      bw.put_se(qp - prev_qp);
+      prev_qp = qp;
+      const auto blocks = mb_blocks(col, row);
+      for (int b = 0; b < kBlocksPerMb; ++b) {
+        const auto& blk = blocks[static_cast<std::size_t>(b)];
+        const video::Plane& sp =
+            blk.chroma ? (b == 4 ? src.u : src.v) : src.y;
+        video::Plane& rp =
+            blk.chroma ? (b == 4 ? trial.recon.u : trial.recon.v)
+                       : trial.recon.y;
+        const Block8x8 pred = const_predict(dc_predict(rp, blk.bx, blk.by));
+        QuantBlock levels;
+        const bool coded = transform_block(sp, blk.bx, blk.by, pred, qp,
+                                           levels);
+        bw.put_bit(coded);
+        if (coded) write_block(bw, levels);
+        reconstruct_block(rp, blk.bx, blk.by, pred, coded ? &levels : nullptr,
+                          qp);
       }
     }
   }
@@ -266,7 +365,11 @@ EncodedFrame Encoder::encode(const video::Frame& src, int base_qp,
     local = analyze_motion(src);
     motion = &local;
   }
-  Trial trial = run_trial(src, type, base_qp, offsets, motion);
+  Trial trial =
+      type == FrameType::kInter
+          ? run_inter_trial(build_inter_plan(src, *motion), base_qp, offsets,
+                            *motion)
+          : run_intra_trial(src, base_qp, offsets);
   return commit(std::move(trial), type, motion, src);
 }
 
@@ -283,29 +386,71 @@ EncodedFrame Encoder::encode_to_target(const video::Frame& src,
     motion = &local;
   }
 
+  rc_stats_ = {};
+
+  // QP-independent work, paid once per frame when trial reuse is on.
+  std::optional<InterPlan> shared_plan;
+  if (type == FrameType::kInter && config_.reuse_trials) {
+    shared_plan = build_inter_plan(src, *motion);
+    rc_stats_.full_transform_passes = 1;
+  }
+
+  // Encode one QP trial. The memo stores every encoded trial (so the
+  // final pick is always a move, never a re-encode); it serves as a
+  // cache for revisited QPs only when reuse is on.
+  std::map<int, Trial> memo;
+  const auto eval = [&](int qp) -> Trial& {
+    ++rc_stats_.trials_attempted;
+    if (config_.reuse_trials) {
+      if (auto it = memo.find(qp); it != memo.end()) {
+        ++rc_stats_.trials_reused;
+        return it->second;
+      }
+    }
+    ++rc_stats_.trials_encoded;
+    Trial t;
+    if (type == FrameType::kInter) {
+      if (shared_plan) {
+        t = run_inter_trial(*shared_plan, qp, offsets, *motion);
+      } else {
+        // Reuse disabled: every trial pays the full motion-compensation
+        // + DCT pass, matching the historical cost model.
+        ++rc_stats_.full_transform_passes;
+        t = run_inter_trial(build_inter_plan(src, *motion), qp, offsets,
+                            *motion);
+      }
+    } else {
+      // Intra prediction depends on the QP-dependent reconstruction, so
+      // an intra trial is always a full pass.
+      ++rc_stats_.full_transform_passes;
+      t = run_intra_trial(src, qp, offsets);
+    }
+    return memo.emplace(qp, std::move(t)).first->second;
+  };
+
   // Binary search over base QP for the best quality that fits the budget.
   int lo = kMinQp;
   int hi = kMaxQp;
   int qp = std::clamp(last_qp_, kMinQp, kMaxQp);
-  std::optional<Trial> best;  // smallest-QP fitting trial so far
-  Trial last_over{};          // fallback when nothing fits
+  int best_qp = -1;  // smallest fitting QP seen so far
+  int over_qp = -1;  // most recent non-fitting QP
 
   for (int iter = 0; iter < std::max(1, config_.rate_iterations); ++iter) {
-    Trial trial = run_trial(src, type, qp, offsets, motion);
+    const Trial& trial = eval(qp);
     if (trial.data.size() <= target_bytes) {
       hi = trial.base_qp - 1;
-      if (!best || trial.base_qp < best->base_qp) best = std::move(trial);
+      if (best_qp < 0 || trial.base_qp < best_qp) best_qp = trial.base_qp;
     } else {
       lo = trial.base_qp + 1;
-      last_over = std::move(trial);
+      over_qp = trial.base_qp;
     }
     if (lo > hi) break;
     qp = (lo + hi) / 2;
   }
 
-  Trial chosen = best ? std::move(*best) : std::move(last_over);
-  if (chosen.data.empty())
-    chosen = run_trial(src, type, kMaxQp, offsets, motion);
+  // The memo guarantees materializing the winner never re-encodes it.
+  const int chosen_qp = best_qp >= 0 ? best_qp : over_qp;
+  Trial chosen = std::move(memo.at(chosen_qp));
   return commit(std::move(chosen), type, motion, src);
 }
 

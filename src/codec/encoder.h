@@ -3,14 +3,30 @@
 // entropy coding — the "basic video encoding operation" the paper assumes
 // on the mobile agent (Sec. II-A/II-B), plus byte-budget targeting used by
 // DiVE's Adaptive Video Encoding.
+//
+// Threading: motion search and the per-macroblock transform/quantize/
+// reconstruct loops of inter frames run on a fixed worker pool
+// (EncoderConfig::threads, DIVE_THREADS). Bitstream emission stays a
+// serial raster-order pass over precomputed per-macroblock levels, so the
+// encoded bytes are bit-identical for every thread count. Intra frames
+// are inherently serial (DC prediction reads the running reconstruction).
+//
+// Rate control: encode_to_target binary-searches the base QP. The
+// QP-independent work of an inter frame — motion field, motion-
+// compensated predictions, and the DCT coefficients of the prediction
+// residual — is computed once per frame; each QP trial only re-quantizes,
+// entropy-codes, and reconstructs. Trials are additionally memoized by QP
+// for the duration of the frame, so no QP is ever encoded twice.
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <memory>
 #include <vector>
 
+#include "codec/dct.h"
 #include "codec/motion_search.h"
 #include "codec/types.h"
+#include "util/thread_pool.h"
 #include "video/frame.h"
 
 namespace dive::codec {
@@ -21,6 +37,26 @@ struct EncoderConfig {
   MotionSearchConfig search;
   int gop_length = 120;         ///< distance between intra frames
   int rate_iterations = 5;      ///< QP trials for encode_to_target
+  /// Worker lanes (including the calling thread) for motion search and
+  /// the inter-frame macroblock loop. 0 = DIVE_THREADS env var, else all
+  /// hardware threads; 1 = fully serial. Output is bit-identical for
+  /// every value.
+  int threads = 0;
+  /// Compute QP-independent work (predictions, residual DCT) once per
+  /// frame and memoize rate-control trials by QP. Purely a caching
+  /// layer: the encoded bytes are identical with it on or off.
+  bool reuse_trials = true;
+};
+
+/// Accounting of the most recent encode_to_target call.
+struct RateControlStats {
+  int trials_attempted = 0;  ///< QP points the search evaluated
+  int trials_encoded = 0;    ///< trials that ran quantize + entropy coding
+  int trials_reused = 0;     ///< trials served from the per-frame QP cache
+  /// Motion-compensate + forward-DCT passes over the whole frame. With
+  /// reuse_trials this is 1 per inter frame regardless of trial count;
+  /// without it, every trial pays a full pass.
+  int full_transform_passes = 0;
 };
 
 struct EncodedFrame {
@@ -66,6 +102,16 @@ class Encoder {
   /// Force the next encoded frame to be intra.
   void request_intra() { force_intra_ = true; }
 
+  /// Trial accounting of the latest encode_to_target call.
+  [[nodiscard]] const RateControlStats& rate_control_stats() const {
+    return rc_stats_;
+  }
+
+  /// Resolved worker-lane count (after DIVE_THREADS / hardware defaults).
+  [[nodiscard]] int thread_count() const {
+    return pool_ ? pool_->thread_count() : 1;
+  }
+
  private:
   struct Trial {
     std::vector<std::uint8_t> data;
@@ -73,19 +119,34 @@ class Encoder {
     int base_qp = 0;
   };
 
+  /// QP-independent per-frame state of an inter frame: for every 8x8
+  /// block (6 per macroblock: 4 luma + U + V) the motion-compensated
+  /// prediction and the forward DCT of the prediction residual.
+  struct InterPlan {
+    std::vector<Block8x8> preds;   ///< mb_count * 6, block-major
+    std::vector<Block8x8> coeffs;  ///< mb_count * 6, block-major
+  };
+
   [[nodiscard]] FrameType next_frame_type() const;
-  Trial run_trial(const video::Frame& src, FrameType type, int base_qp,
-                  const QpOffsetMap* offsets, const MotionField* motion) const;
+  [[nodiscard]] InterPlan build_inter_plan(const video::Frame& src,
+                                           const MotionField& motion) const;
+  [[nodiscard]] Trial run_inter_trial(const InterPlan& plan, int base_qp,
+                                      const QpOffsetMap* offsets,
+                                      const MotionField& motion) const;
+  [[nodiscard]] Trial run_intra_trial(const video::Frame& src, int base_qp,
+                                      const QpOffsetMap* offsets) const;
   EncodedFrame commit(Trial trial, FrameType type, const MotionField* motion,
                       const video::Frame& src);
 
   EncoderConfig config_;
   MotionSearcher searcher_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null when serial
   video::Frame reference_;
   bool has_reference_ = false;
   bool force_intra_ = false;
   int frame_index_ = 0;
   int last_qp_ = 30;
+  RateControlStats rc_stats_;
 };
 
 }  // namespace dive::codec

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "codec/bitstream.h"
+#include "util/thread_pool.h"
 
 namespace dive::codec {
 
@@ -308,11 +309,12 @@ MotionVector MotionSearcher::search_block(const video::Plane& cur,
 }
 
 MotionField MotionSearcher::search_frame(const video::Plane& cur,
-                                         const video::Plane& ref) const {
+                                         const video::Plane& ref,
+                                         util::ThreadPool* pool) const {
   const int cols = cur.width / kMb;
   const int rows = cur.height / kMb;
   MotionField field(cols, rows);
-  for (int row = 0; row < rows; ++row) {
+  const auto search_row = [&](int row) {
     MotionVector pred{};  // left-neighbor predictor, reset per row
     for (int col = 0; col < cols; ++col) {
       std::uint32_t sad = 0;
@@ -322,6 +324,11 @@ MotionField MotionSearcher::search_frame(const video::Plane& cur,
       field.sad[static_cast<std::size_t>(row) * cols + col] = sad;
       pred = mv;
     }
+  };
+  if (pool != nullptr && pool->thread_count() > 1) {
+    pool->parallel_for(0, rows, search_row);
+  } else {
+    for (int row = 0; row < rows; ++row) search_row(row);
   }
   return field;
 }

@@ -15,6 +15,10 @@
 #include "codec/types.h"
 #include "video/frame.h"
 
+namespace dive::util {
+class ThreadPool;
+}
+
 namespace dive::codec {
 
 struct MotionSearchConfig {
@@ -50,8 +54,12 @@ class MotionSearcher {
 
   /// Estimates the motion field of `cur` against reference `ref`
   /// (both luma planes; dimensions must match and be multiples of 16).
+  /// Rows are searched independently (the spatial predictor chain resets
+  /// per row), so a pool parallelizes over rows with a result that is
+  /// bit-identical to the serial field for every thread count.
   [[nodiscard]] MotionField search_frame(const video::Plane& cur,
-                                         const video::Plane& ref) const;
+                                         const video::Plane& ref,
+                                         util::ThreadPool* pool = nullptr) const;
 
  private:
   MotionVector search_block(const video::Plane& cur, const video::Plane& ref,

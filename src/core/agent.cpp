@@ -4,12 +4,23 @@
 
 namespace dive::core {
 
+namespace {
+
+/// The agent-level thread knob fills in the encoder config unless the
+/// caller already pinned a count there.
+codec::EncoderConfig with_threads(codec::EncoderConfig ec, int threads) {
+  if (ec.threads == 0) ec.threads = threads;
+  return ec;
+}
+
+}  // namespace
+
 DiveAgent::DiveAgent(DiveConfig config, codec::EncoderConfig encoder_config,
                      geom::PinholeCamera camera,
                      std::shared_ptr<net::Uplink> uplink,
                      std::shared_ptr<edge::EdgeServer> server)
     : config_(config),
-      encoder_(encoder_config),
+      encoder_(with_threads(encoder_config, config.encode_threads)),
       camera_(camera),
       uplink_(std::move(uplink)),
       server_(std::move(server)),

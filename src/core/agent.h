@@ -33,6 +33,11 @@ struct DiveConfig {
   double fps = 12.0;
   bool enable_offline_tracking = true;  ///< Fig. 13 ablation switch
   std::uint64_t seed = 7;
+  /// Encoder worker lanes (motion search + macroblock loop). Applied to
+  /// the encoder config unless that already names a count. 0 defers to
+  /// the DIVE_THREADS env var / hardware default; 1 forces serial.
+  /// Encoded output is bit-identical for every value.
+  int encode_threads = 0;
 };
 
 class DiveAgent final : public AnalyticsScheme {

@@ -8,9 +8,11 @@ void BandwidthEstimator::add_transmission(double bytes, util::SimTime start,
                                           util::SimTime end) {
   if (bytes <= 0.0 || end <= start) return;
   samples_.push_back({bytes, start, end});
-  // Retire samples that ended more than a window before the newest one.
+  // Retire samples with no overlap left against the window ending at the
+  // newest ack. A sample that merely straddles the cutoff stays: its
+  // in-window share still carries information and estimate() prorates it.
   const util::SimTime cutoff = end - config_.window;
-  while (!samples_.empty() && samples_.front().end < cutoff)
+  while (!samples_.empty() && samples_.front().end <= cutoff)
     samples_.pop_front();
 }
 
@@ -19,13 +21,18 @@ double BandwidthEstimator::estimate(util::SimTime now) const {
   double weighted = 0.0;
   double weight = 0.0;
   for (const auto& s : samples_) {
-    if (s.end < cutoff) continue;
     const double duration = util::to_seconds(s.end - s.start);
     if (duration <= 0.0) continue;
+    // Prorate by the overlap with [now - window, now]: a burst straddling
+    // the cutoff contributes only its in-window share of bytes and time,
+    // so one stale long transfer cannot dominate the post-outage average.
+    const util::SimTime ov_start = std::max(s.start, cutoff);
+    const util::SimTime ov_end = std::min(s.end, now);
+    if (ov_end <= ov_start) continue;
+    const double overlap = util::to_seconds(ov_end - ov_start);
     const double rate = s.bytes / duration;
-    // Weight by burst duration: long transfers are better capacity probes.
-    weighted += rate * duration;
-    weight += duration;
+    weighted += rate * overlap;
+    weight += overlap;
   }
   if (weight <= 0.0) return config_.prior_bytes_per_sec;
   return weighted / weight;

@@ -68,13 +68,28 @@ class ForegroundExtractor {
   /// Last successfully extracted foreground (fallback source).
   [[nodiscard]] const ForegroundResult& last() const { return last_; }
 
-  void reset() { last_ = {}; }
+  void reset() {
+    last_ = {};
+    carry_.clear();
+  }
 
  private:
+  /// Age-0 geometry of a recently extracted region. Carried copies are
+  /// always rebuilt from this original (hull + age * mean_mv) instead of
+  /// re-shifting the previous frame's carried copy, so motion and
+  /// clipping errors cannot compound across the carry window.
+  struct CarrySource {
+    std::vector<geom::Vec2> hull;
+    geom::Vec2 mean_mv;
+    int macroblocks = 0;
+    int age = 0;  ///< frames since extraction
+  };
+
   ForegroundExtractorConfig config_;
   GroundEstimator ground_;
   ForegroundClusterer clusterer_;
   ForegroundResult last_;
+  std::vector<CarrySource> carry_;
 };
 
 }  // namespace dive::core

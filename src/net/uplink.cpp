@@ -15,7 +15,19 @@ TransmitResult Uplink::transmit(double bytes, util::SimTime enqueue_time) {
   const util::SimTime start = std::max(enqueue_time, busy_until_);
   // A generous horizon: nothing in the evaluation waits more than minutes.
   const util::SimTime horizon = start + 600 * util::kMicrosPerSec;
-  const util::SimTime complete = trace_->time_to_send(start, bytes, horizon);
+  const util::SimTime complete =
+      trace_->time_to_send(start, bytes, horizon + 1);
+  if (complete > horizon) {
+    // The trace cannot move the data inside the horizon (an outage longer
+    // than the horizon): report the failure instead of fabricating a
+    // horizon-clamped completion time (mirrors transmit_with_timeout).
+    TransmitResult r;
+    r.delivered = false;
+    r.started = start;
+    r.gave_up_at = horizon;
+    busy_until_ = std::max(busy_until_, horizon);
+    return r;
+  }
   busy_until_ = complete;
   return {true, start, complete, complete + config_.propagation_delay, 0};
 }

@@ -36,8 +36,11 @@ class Uplink {
  public:
   Uplink(std::shared_ptr<const BandwidthTrace> trace, UplinkConfig config);
 
-  /// Unconditionally transmits `bytes` enqueued at `enqueue_time`;
-  /// the link serializes after any earlier traffic completes.
+  /// Transmits `bytes` enqueued at `enqueue_time`; the link serializes
+  /// after any earlier traffic completes. Patience is bounded by a 600 s
+  /// horizon: when the trace cannot move the data inside it (an extreme
+  /// outage), the result reports `delivered == false` with `gave_up_at`
+  /// set to the horizon rather than a fabricated completion time.
   TransmitResult transmit(double bytes, util::SimTime enqueue_time);
 
   /// Transmits unless the head-of-line timer (config.head_timeout)

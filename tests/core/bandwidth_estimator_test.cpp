@@ -73,6 +73,22 @@ TEST(BandwidthEstimator, TracksRateChange) {
   EXPECT_NEAR(est.estimate(from_millis(4100)), 2000.0, 1.0);
 }
 
+TEST(BandwidthEstimator, ProratesStraddlingSample) {
+  // Regression: a long transmission straddling the window edge used to
+  // contribute its full duration and bytes, dragging in goodput from
+  // before the window. Only the overlap with [now - window, now] counts.
+  BandwidthEstimatorConfig cfg;
+  cfg.window = from_seconds(2);
+  BandwidthEstimator est(cfg);
+  // ~9523.8 B/s for 10.5 s — only its last 0.1 s is inside the window.
+  est.add_transmission(100'000.0, 0, from_millis(10'500));
+  // 500 B/s for 0.1 s, fully inside the window.
+  est.add_transmission(50.0, from_millis(12'300), from_millis(12'400));
+  const double fast_rate = 100'000.0 / 10.5;
+  const double expected = (fast_rate * 0.1 + 500.0 * 0.1) / 0.2;
+  EXPECT_NEAR(est.estimate(from_millis(12'400)), expected, 1e-6);
+}
+
 TEST(BandwidthEstimator, ResetRestoresPrior) {
   BandwidthEstimator est;
   est.add_transmission(1000.0, 0, from_millis(100));

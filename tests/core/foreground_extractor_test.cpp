@@ -141,6 +141,81 @@ TEST(ForegroundExtractor, CarriedRegionsExpire) {
   for (const auto& r : third.regions) EXPECT_LE(r.age, 1);
 }
 
+TEST(ForegroundExtractor, CarryAnchorsToOriginalGeometry) {
+  // Regression: carried regions used to be re-shifted and re-clipped from
+  // the previous frame's carried copy, so clipping losses and motion
+  // error compounded over the carry window. An age-N carried region must
+  // equal the age-0 original shifted by N * mean_mv (then clipped once).
+  ForegroundExtractorConfig cfg;
+  cfg.temporal_carry_frames = 2;
+  ForegroundExtractor fe(cfg);
+
+  const geom::Box object_box{224, 144, 288, 208};
+  const auto first = fe.extract(object_scene(), kCamera);
+  ASSERT_TRUE(first.valid);
+  const ForegroundRegion* original = nullptr;
+  double best_iou = 0.0;
+  for (const auto& r : first.regions) {
+    const double iou = geom::iou(r.bounds, object_box);
+    if (iou > best_iou) {
+      best_iou = iou;
+      original = &r;
+    }
+  }
+  ASSERT_NE(original, nullptr);
+  ASSERT_GT(best_iou, 0.25);
+
+  // Two missed frames: the object region rides forward as age 1, then 2.
+  fe.extract(object_scene(0.0), kCamera);
+  const auto second_miss = fe.extract(object_scene(0.0), kCamera);
+
+  const geom::Box expected =
+      original->bounds.shifted(original->mean_mv * 2.0).clipped(512, 288);
+  const ForegroundRegion* aged = nullptr;
+  double aged_iou = 0.0;
+  for (const auto& r : second_miss.regions) {
+    if (r.age != 2) continue;
+    const double iou = geom::iou(r.bounds, expected);
+    if (iou > aged_iou) {
+      aged_iou = iou;
+      aged = &r;
+    }
+  }
+  ASSERT_NE(aged, nullptr);
+  EXPECT_NEAR(aged->bounds.x0, expected.x0, 1e-9);
+  EXPECT_NEAR(aged->bounds.y0, expected.y0, 1e-9);
+  EXPECT_NEAR(aged->bounds.x1, expected.x1, 1e-9);
+  EXPECT_NEAR(aged->bounds.y1, expected.y1, 1e-9);
+}
+
+TEST(ForegroundExtractor, FreshDetectionReplacesCarrySource) {
+  // A fresh extraction covering a carried region replaces its carry
+  // source, so the carry age restarts from the newest sighting instead
+  // of the oldest one accumulating.
+  ForegroundExtractorConfig cfg;
+  cfg.temporal_carry_frames = 2;
+  ForegroundExtractor fe(cfg);
+  fe.extract(object_scene(), kCamera);  // sighting 1
+  fe.extract(object_scene(), kCamera);  // sighting 2 replaces the source
+  const auto missed = fe.extract(object_scene(0.0), kCamera);
+  for (const auto& r : missed.regions)
+    EXPECT_LE(r.age, 1) << "carry source should restart at each sighting";
+}
+
+TEST(ForegroundResult, AreaFractionUnionsOverlap) {
+  // Regression: overlapping regions were summed, double-counting the
+  // intersection. {0,0,100,100} U {50,0,150,100} covers 15000 of 20000.
+  ForegroundResult r;
+  r.valid = true;
+  ForegroundRegion a;
+  a.bounds = {0, 0, 100, 100};
+  ForegroundRegion b;
+  b.bounds = {50, 0, 150, 100};
+  r.regions.push_back(a);
+  r.regions.push_back(b);
+  EXPECT_DOUBLE_EQ(r.area_fraction(200, 100), 0.75);
+}
+
 TEST(ForegroundResult, AreaFractionBounds) {
   ForegroundResult r;
   EXPECT_DOUBLE_EQ(r.area_fraction(512, 288), 0.0);

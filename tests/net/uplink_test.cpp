@@ -81,6 +81,26 @@ TEST(Uplink, OutageTriggersTimeout) {
   EXPECT_TRUE(link.transmit_with_timeout(1000.0, from_millis(2100)).delivered);
 }
 
+TEST(Uplink, OutageLongerThanHorizonReportsFailure) {
+  // Regression: a trace with zero capacity made time_to_send return its
+  // horizon clamp, which transmit() used to report as a successful
+  // delivery at exactly horizon time. It must fail instead.
+  Uplink link(std::make_shared<ConstantBandwidth>(0.0), test_config());
+  const auto r = link.transmit(1000.0, from_seconds(3));
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.started, from_seconds(3));
+  EXPECT_EQ(r.gave_up_at, from_seconds(3) + from_seconds(600));
+  EXPECT_EQ(link.busy_until(), r.gave_up_at);
+}
+
+TEST(Uplink, ExactFitAtHorizonStillDelivers) {
+  // 600 B at 1 B/s completes exactly at the 600 s horizon — delivered.
+  Uplink link(std::make_shared<ConstantBandwidth>(1.0), test_config());
+  const auto r = link.transmit(600.0, 0);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.sent_complete, from_seconds(600));
+}
+
 TEST(Uplink, CapacityBetweenMatchesTrace) {
   Uplink link(std::make_shared<ConstantBandwidth>(2000.0), test_config());
   EXPECT_DOUBLE_EQ(link.capacity_between(0, from_seconds(3)), 6000.0);
