@@ -1,0 +1,71 @@
+// Serving-layer scaling sweep: how many agents can one edge node sustain
+// before accuracy degrades? Runs the multi-agent scenario at 1/4/16/64
+// concurrent sessions against a fixed node (2 workers, batch<=4) and
+// reports admission drops, MOT fallbacks, latency, and aggregate mAP.
+// With ~163 inferred frames/s of amortized capacity, demand crosses the
+// node's limit between 4 sessions (48 f/s) and 16 (192 f/s): drops and
+// MOT fallbacks rise, queues stay bounded, and mAP degrades gracefully.
+//
+// Scale knobs: DIVE_BENCH_FRAMES (frames per session, default 24),
+// DIVE_BENCH_SESSIONS (cap on the largest sweep point, default 64).
+//
+//   ./build/bench/bench_serve_scaling
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/serve_scenario.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dive;
+
+  const int frames = harness::env_int("DIVE_BENCH_FRAMES", 24);
+  const int max_sessions = harness::env_int("DIVE_BENCH_SESSIONS", 64);
+
+  util::TextTable table("edge-node scaling (2 workers, batch<=4, deadline 400 ms)");
+  table.set_header({"sessions", "frames", "offload%", "drop_q", "drop_dl",
+                    "drop_up", "mot", "depth", "batch", "wait_ms", "e2e_ms",
+                    "e2e_p95", "mAP"});
+
+  for (int sessions : {1, 4, 16, 64}) {
+    if (sessions > max_sessions) break;
+    harness::ServeScenarioOptions opt = harness::default_serve_options();
+    opt.sessions = sessions;
+    opt.frames_per_session = frames;
+    const harness::ServeScenarioResult r = harness::run_serve_scenario(opt);
+    table.add_row({std::to_string(sessions), std::to_string(r.frames),
+                   util::TextTable::fmt_pct(r.offload_fraction, 1),
+                   std::to_string(r.dropped_queue),
+                   std::to_string(r.dropped_deadline),
+                   std::to_string(r.dropped_uplink), std::to_string(r.mot),
+                   util::TextTable::fmt(r.mean_queue_depth, 2),
+                   util::TextTable::fmt(r.mean_batch, 2),
+                   util::TextTable::fmt(r.mean_wait_ms, 1),
+                   util::TextTable::fmt(r.mean_e2e_ms, 1),
+                   util::TextTable::fmt(r.p95_e2e_ms, 1),
+                   util::TextTable::fmt(r.aggregate_map, 3)});
+  }
+  table.print(std::cout);
+
+  // Determinism spot check: the same seed must reproduce identical
+  // metrics (the whole serving layer is event-driven simulated time).
+  {
+    harness::ServeScenarioOptions opt = harness::default_serve_options();
+    opt.sessions = 4;
+    opt.frames_per_session = frames;
+    const auto a = harness::run_serve_scenario(opt);
+    const auto b = harness::run_serve_scenario(opt);
+    const bool identical = a.aggregate_map == b.aggregate_map &&
+                           a.mean_e2e_ms == b.mean_e2e_ms &&
+                           a.p95_e2e_ms == b.p95_e2e_ms &&
+                           a.dropped_queue == b.dropped_queue &&
+                           a.dropped_deadline == b.dropped_deadline &&
+                           a.completed == b.completed;
+    std::printf("\ndeterminism check (4 sessions, same seed re-run): %s\n",
+                identical ? "identical metrics" : "MISMATCH");
+    if (!identical) return 1;
+  }
+  return 0;
+}

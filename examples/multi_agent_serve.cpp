@@ -1,0 +1,47 @@
+// Multi-agent serving quickstart: eight mobile agents stream one edge
+// node with two batched inference workers (src/serve/). Shows the
+// session/admission/scheduler pipeline end to end — per-session queue
+// bounds, deadline-aware drops, batching amortization — and that rejected
+// frames degrade gracefully into MOT instead of unbounded queueing.
+//
+//   ./build/examples/multi_agent_serve
+#include <cstdio>
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "harness/serve_scenario.h"
+#include "util/table.h"
+
+int main() {
+  using namespace dive;
+
+  harness::ServeScenarioOptions opt = harness::default_serve_options();
+  opt.sessions = 8;
+  opt.frames_per_session = harness::env_int("DIVE_BENCH_FRAMES", 36);
+
+  std::printf(
+      "serving %d agents on one edge node: %d workers, batch<=%zu "
+      "(%.0f ms window), queue<=%zu, deadline %.0f ms\n\n",
+      opt.sessions, opt.node.scheduler.workers, opt.node.scheduler.max_batch,
+      util::to_millis(opt.node.scheduler.batch_window),
+      opt.node.admission.max_queue,
+      util::to_millis(opt.node.session.deadline));
+
+  const harness::ServeScenarioResult r = harness::run_serve_scenario(opt);
+
+  r.metrics.session_table().print(std::cout);
+  std::printf("\n");
+  r.metrics.summary_table().print(std::cout);
+
+  std::printf(
+      "\naggregate mAP %.3f | offloaded %.0f%% of %ld frames | "
+      "mean batch %.2f | e2e %.1f ms (p95 %.1f)\n",
+      r.aggregate_map, 100.0 * r.offload_fraction, r.frames, r.mean_batch,
+      r.mean_e2e_ms, r.p95_e2e_ms);
+  std::printf(
+      "%ld frames fell back to offline tracking (queue-full %ld, "
+      "deadline %ld, uplink %ld) — overload degrades like a link outage,\n"
+      "accuracy decays smoothly instead of queues growing without bound.\n",
+      r.mot, r.dropped_queue, r.dropped_deadline, r.dropped_uplink);
+  return 0;
+}

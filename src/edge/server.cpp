@@ -9,12 +9,23 @@ InferenceResult EdgeServer::process(std::span<const std::uint8_t> data,
   result.decoded = std::move(decoded.frame);
   result.detections = detector_.detect(result.decoded);
 
-  const util::SimTime jitter = util::from_millis(
-      rng_.uniform(-config_.inference_jitter_ms, config_.inference_jitter_ms));
+  const util::SimTime jitter = inference_jitter(processed_++);
   result.result_at_agent = arrival + config_.decode_latency +
                            config_.inference_latency + jitter +
                            config_.downlink_delay;
   return result;
+}
+
+DetectionList EdgeServer::decode_and_detect(
+    std::span<const std::uint8_t> data) {
+  const codec::DecodedFrame decoded = decoder_.decode(data);
+  return detector_.detect(decoded.frame);
+}
+
+util::SimTime EdgeServer::inference_jitter(std::uint64_t frame_index) const {
+  util::Rng stream = rng_.fork(frame_index);
+  return util::from_millis(stream.uniform(-config_.inference_jitter_ms,
+                                          config_.inference_jitter_ms));
 }
 
 }  // namespace dive::edge

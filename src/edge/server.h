@@ -1,6 +1,16 @@
 // Edge-server model: decode + DNN inference + downlink return, with a
 // simple latency model ("serverless edge computing" entity of Sec. II-A).
 // The server is stateful because inter frames reference its decoder state.
+//
+// Determinism contract (multi-session serving): the inference jitter
+// applied to the k-th frame a server processes (k = 0, 1, ...) is a pure
+// function of (seed, k) — each frame forks a fresh stream off the base
+// seed instead of consuming a shared sequential engine. A serving layer
+// that multiplexes many sessions therefore produces per-session results
+// that are independent of scheduling order: give every session's server a
+// distinct seed (serve:: uses util::Rng(node_seed).fork(session_id)) and
+// a session's jitter sequence never shifts when other sessions process
+// more or fewer frames, or when batches interleave sessions differently.
 #pragma once
 
 #include <cstdint>
@@ -35,9 +45,20 @@ class EdgeServer {
       : config_(config), detector_(config.detector), rng_(seed) {}
 
   /// Decodes an uploaded frame that arrived at `arrival`, runs the
-  /// detector, and reports when the result lands back on the agent.
+  /// detector, and reports when the result lands back on the agent. The
+  /// jitter applied is inference_jitter(k) for the k-th process() call.
   InferenceResult process(std::span<const std::uint8_t> data,
                           util::SimTime arrival);
+
+  /// Decodes + detects without applying the latency model (and without
+  /// consuming jitter): the serving layer schedules decode/inference
+  /// timing itself and pairs the result with inference_jitter().
+  DetectionList decode_and_detect(std::span<const std::uint8_t> data);
+
+  /// Inference jitter of the k-th frame — a pure function of (seed, k),
+  /// uniform in [-inference_jitter_ms, +inference_jitter_ms]. See the
+  /// determinism contract above.
+  [[nodiscard]] util::SimTime inference_jitter(std::uint64_t frame_index) const;
 
   /// Runs the detector only (no codec) — used for the raw-frame
   /// ground-truth protocol and for DDS region re-inference.
@@ -48,12 +69,16 @@ class EdgeServer {
   [[nodiscard]] const ChromaDetector& detector() const { return detector_; }
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   [[nodiscard]] bool has_reference() const { return decoder_.has_reference(); }
+  /// Frames consumed through process() (decode_and_detect not counted;
+  /// the serving layer indexes jitter by its own per-session counter).
+  [[nodiscard]] std::uint64_t frames_processed() const { return processed_; }
 
  private:
   ServerConfig config_;
   codec::Decoder decoder_;
   ChromaDetector detector_;
-  util::Rng rng_;
+  util::Rng rng_;  ///< base seed; per-frame streams are forked off it
+  std::uint64_t processed_ = 0;
 };
 
 }  // namespace dive::edge

@@ -1,0 +1,80 @@
+#include "serve/metrics.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace dive::serve {
+
+void SessionCounters::merge(const SessionCounters& other) {
+  submitted += other.submitted;
+  admitted += other.admitted;
+  dropped_queue += other.dropped_queue;
+  dropped_deadline += other.dropped_deadline;
+  dropped_uplink += other.dropped_uplink;
+  completed += other.completed;
+  queue_depth.merge(other.queue_depth);
+  batch_size.merge(other.batch_size);
+  wait_ms.merge(other.wait_ms);
+  e2e_ms.merge(other.e2e_ms);
+}
+
+SessionCounters& ServeMetrics::session(std::uint32_t id) {
+  if (id >= per_session_.size()) per_session_.resize(id + 1);
+  return per_session_[id];
+}
+
+const SessionCounters& ServeMetrics::session(std::uint32_t id) const {
+  if (id >= per_session_.size())
+    throw std::out_of_range("ServeMetrics: unknown session");
+  return per_session_[id];
+}
+
+SessionCounters ServeMetrics::aggregate() const {
+  SessionCounters total;
+  for (const auto& s : per_session_) total.merge(s);
+  return total;
+}
+
+namespace {
+
+std::vector<std::string> counters_row(const std::string& label,
+                                      const SessionCounters& c) {
+  return {label,
+          std::to_string(c.submitted),
+          std::to_string(c.admitted),
+          std::to_string(c.dropped_queue),
+          std::to_string(c.dropped_deadline),
+          std::to_string(c.dropped_uplink),
+          std::to_string(c.completed),
+          util::TextTable::fmt(c.queue_depth.mean(), 2),
+          util::TextTable::fmt(c.batch_size.mean(), 2),
+          util::TextTable::fmt(c.wait_ms.mean(), 1),
+          util::TextTable::fmt(c.e2e_ms.mean(), 1),
+          util::TextTable::fmt(
+              c.e2e_ms.empty() ? 0.0 : c.e2e_ms.quantile(0.95), 1)};
+}
+
+std::vector<std::string> counters_header() {
+  return {"session", "submit", "admit", "drop_q", "drop_dl", "drop_up",
+          "done",    "depth",  "batch", "wait_ms", "e2e_ms", "e2e_p95"};
+}
+
+}  // namespace
+
+util::TextTable ServeMetrics::session_table() const {
+  util::TextTable table("per-session serving metrics");
+  table.set_header(counters_header());
+  for (std::size_t id = 0; id < per_session_.size(); ++id) {
+    table.add_row(counters_row(std::to_string(id), per_session_[id]));
+  }
+  return table;
+}
+
+util::TextTable ServeMetrics::summary_table() const {
+  util::TextTable table("edge-node serving summary");
+  table.set_header(counters_header());
+  table.add_row(counters_row("all", aggregate()));
+  return table;
+}
+
+}  // namespace dive::serve

@@ -1,0 +1,110 @@
+#include "serve/node.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dive::serve {
+
+ServeNode::ServeNode(ServeNodeConfig config)
+    : config_(config),
+      admission_(config.admission),
+      scheduler_(config.scheduler, config.server.decode_latency,
+                 config.server.inference_latency) {}
+
+Session& ServeNode::open_session(std::shared_ptr<net::Uplink> uplink) {
+  const auto id = static_cast<std::uint32_t>(sessions_.size());
+  sessions_.push_back(std::make_unique<Session>(
+      id, config_.session, std::move(uplink), config_.server, config_.seed));
+  metrics_.session(id);  // materialize the row even if nothing arrives
+  return *sessions_.back();
+}
+
+Session& ServeNode::session(std::uint32_t id) {
+  if (id >= sessions_.size())
+    throw std::out_of_range("ServeNode: unknown session");
+  return *sessions_[id];
+}
+
+AdmissionVerdict ServeNode::submit(FrameJob job) {
+  Session& s = session(job.session_id);
+  SessionCounters& counters = metrics_.session(job.session_id);
+  ++counters.submitted;
+
+  const util::SimTime predicted_done =
+      scheduler_.estimated_completion(job.arrival);
+  const AdmissionVerdict verdict = admission_.decide(
+      s, job.capture_time, predicted_done, config_.server.downlink_delay);
+  switch (verdict) {
+    case AdmissionVerdict::kQueueFull: ++counters.dropped_queue; return verdict;
+    case AdmissionVerdict::kDeadline: ++counters.dropped_deadline; return verdict;
+    case AdmissionVerdict::kAdmit: break;
+  }
+
+  ++counters.admitted;
+  counters.queue_depth.add(static_cast<double>(s.queue_depth()));
+  s.on_admitted();
+  payloads_.emplace(std::make_pair(job.session_id, job.frame_index),
+                    std::move(job.data));
+  scheduler_.submit(
+      {job.session_id, job.frame_index, job.capture_time, job.arrival});
+  return verdict;
+}
+
+std::vector<JobResult> ServeNode::realize(std::vector<Batch> batches) {
+  std::vector<JobResult> results;
+  for (const Batch& batch : batches) {
+    for (const ScheduledJob& job : batch.jobs) {
+      Session& s = session(job.session_id);
+      s.on_dispatched();
+
+      const auto key = std::make_pair(job.session_id, job.frame_index);
+      const auto payload = payloads_.find(key);
+      if (payload == payloads_.end())
+        throw std::logic_error("ServeNode: dispatched job without payload");
+
+      JobResult r;
+      r.session_id = job.session_id;
+      r.frame_index = job.frame_index;
+      r.capture_time = job.capture_time;
+      r.arrival = job.arrival;
+      r.infer_start = batch.start;
+      r.infer_done = batch.done;
+      r.batch_size = batch.jobs.size();
+      // Per-session jitter stream, indexed by the agent's frame number:
+      // invariant under batching and other sessions' load.
+      r.result_at_agent = batch.done +
+                          s.server().inference_jitter(job.frame_index) +
+                          config_.server.downlink_delay;
+      r.detections = s.server().decode_and_detect(payload->second);
+      payloads_.erase(payload);
+
+      SessionCounters& counters = metrics_.session(job.session_id);
+      ++counters.completed;
+      counters.batch_size.add(static_cast<double>(batch.jobs.size()));
+      counters.wait_ms.add(util::to_millis(batch.start - job.arrival));
+      counters.e2e_ms.add(
+          util::to_millis(r.result_at_agent - job.capture_time));
+      results.push_back(std::move(r));
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const JobResult& a, const JobResult& b) {
+              if (a.result_at_agent != b.result_at_agent)
+                return a.result_at_agent < b.result_at_agent;
+              if (a.session_id != b.session_id)
+                return a.session_id < b.session_id;
+              return a.frame_index < b.frame_index;
+            });
+  return results;
+}
+
+std::vector<JobResult> ServeNode::run_until(util::SimTime now) {
+  return realize(scheduler_.run_until(now));
+}
+
+std::vector<JobResult> ServeNode::drain() {
+  return realize(scheduler_.drain());
+}
+
+}  // namespace dive::serve

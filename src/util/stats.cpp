@@ -49,6 +49,13 @@ double RunningStats::stddev() const { return std::sqrt(variance()); }
 double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
 double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
 
+void SampleSet::merge(const SampleSet& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
 void SampleSet::ensure_sorted() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

@@ -36,6 +36,8 @@ class RunningStats {
 class SampleSet {
  public:
   void add(double x) { samples_.push_back(x); }
+  /// Appends every sample of `other` (aggregating per-session sets).
+  void merge(const SampleSet& other);
   void reserve(std::size_t n) { samples_.reserve(n); }
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }

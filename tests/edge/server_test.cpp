@@ -57,6 +57,51 @@ TEST(EdgeServer, JitterBoundsResultTime) {
   }
 }
 
+TEST(EdgeServer, JitterIsPerFrameStreamIndependentOfCallOrder) {
+  // Determinism contract: inference_jitter(k) is a pure function of
+  // (seed, k) — two servers with the same seed agree frame-by-frame no
+  // matter how many frames either has processed, and querying out of
+  // order changes nothing.
+  ServerConfig cfg;
+  cfg.inference_jitter_ms = 5.0;
+  EdgeServer a(cfg, 7);
+  EdgeServer b(cfg, 7);
+  for (int k = 9; k >= 0; --k)
+    EXPECT_EQ(a.inference_jitter(k), b.inference_jitter(k)) << "frame " << k;
+  // Different seeds draw different streams (at least one frame differs).
+  EdgeServer c(cfg, 8);
+  bool any_diff = false;
+  for (int k = 0; k < 10; ++k)
+    any_diff = any_diff || a.inference_jitter(k) != c.inference_jitter(k);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(EdgeServer, ProcessUsesPerFrameJitterStream) {
+  codec::Encoder enc({.width = 64, .height = 32});
+  ServerConfig cfg;
+  cfg.inference_jitter_ms = 4.0;
+  EdgeServer server(cfg, 11);
+  const util::SimTime nominal =
+      cfg.decode_latency + cfg.inference_latency + cfg.downlink_delay;
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    const auto jitter = server.inference_jitter(k);
+    EXPECT_EQ(server.frames_processed(), k);
+    const auto r = server.process(enc.encode(video::Frame(64, 32), 20).data, 0);
+    EXPECT_EQ(r.result_at_agent, nominal + jitter) << "frame " << k;
+  }
+}
+
+TEST(EdgeServer, DecodeAndDetectSkipsLatencyModel) {
+  codec::Encoder enc({.width = 128, .height = 64});
+  EdgeServer server(ServerConfig{}, 12);
+  const auto dets =
+      server.decode_and_detect(enc.encode(frame_with_car(128, 64), 8).data);
+  ASSERT_EQ(dets.size(), 1u);
+  // decode_and_detect advances decoder state but not the jitter stream.
+  EXPECT_EQ(server.frames_processed(), 0u);
+  EXPECT_TRUE(server.has_reference());
+}
+
 TEST(EdgeServer, InferRawBypassesCodec) {
   EdgeServer server(ServerConfig{}, 4);
   const auto dets = server.infer_raw(frame_with_car(128, 64));

@@ -101,6 +101,58 @@ TEST(Uplink, ExactFitAtHorizonStillDelivers) {
   EXPECT_EQ(r.sent_complete, from_seconds(600));
 }
 
+TEST(Uplink, TimeoutExactlyEqualToSerializationDelivers) {
+  // Boundary: 300 B at 1000 B/s serializes in exactly the 300 ms
+  // head-of-line timeout. The drop condition is strictly `complete >
+  // deadline`, so an exact fit still goes through.
+  Uplink link(std::make_shared<ConstantBandwidth>(1000.0), test_config());
+  const auto r = link.transmit_with_timeout(300.0, from_seconds(1));
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.sent_complete, from_seconds(1) + from_millis(300));
+  // One byte more and the same frame is dropped at the deadline.
+  Uplink slow(std::make_shared<ConstantBandwidth>(1000.0), test_config());
+  const auto d = slow.transmit_with_timeout(301.0, from_seconds(1));
+  EXPECT_FALSE(d.delivered);
+  EXPECT_EQ(d.gave_up_at, from_seconds(1) + from_millis(300));
+}
+
+TEST(Uplink, HorizonGiveUpJustPastExactFit) {
+  // Boundary of the 600 s give-up horizon in transmit(): 601 B at 1 B/s
+  // completes 1 s past the horizon and must report failure (the exact-fit
+  // companion case is ExactFitAtHorizonStillDelivers).
+  Uplink link(std::make_shared<ConstantBandwidth>(1.0), test_config());
+  const auto r = link.transmit(601.0, 0);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.gave_up_at, from_seconds(600));
+  EXPECT_EQ(link.busy_until(), from_seconds(600));
+}
+
+TEST(Uplink, HorizonCountsFromQueueHeadNotEnqueue) {
+  // The 600 s horizon starts when the frame reaches the queue head: with
+  // the link busy until t = 5 s and dead afterwards, a frame enqueued at
+  // t = 1 s gives up at 5 s + 600 s.
+  auto trace = std::make_shared<SteppedBandwidth>(
+      std::vector<SteppedBandwidth::Step>{{0, 1000.0}, {from_seconds(5), 0.0}});
+  Uplink link(trace, test_config());
+  EXPECT_TRUE(link.transmit(5000.0, 0).delivered);  // busy until 5 s
+  const auto r = link.transmit(100.0, from_seconds(1));
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.started, from_seconds(5));
+  EXPECT_EQ(r.gave_up_at, from_seconds(5) + from_seconds(600));
+}
+
+TEST(Uplink, RecoversAfterHorizonGiveUp) {
+  // An outage longer than the horizon kills one frame; once capacity
+  // returns, the link serves later traffic normally.
+  auto trace = std::make_shared<SteppedBandwidth>(
+      std::vector<SteppedBandwidth::Step>{{0, 0.0}, {from_seconds(700), 1000.0}});
+  Uplink link(trace, test_config());
+  EXPECT_FALSE(link.transmit(100.0, 0).delivered);  // gave up at 600 s
+  const auto r = link.transmit(100.0, from_seconds(700));
+  EXPECT_TRUE(r.delivered);
+  EXPECT_EQ(r.sent_complete, from_seconds(700) + from_millis(100));
+}
+
 TEST(Uplink, CapacityBetweenMatchesTrace) {
   Uplink link(std::make_shared<ConstantBandwidth>(2000.0), test_config());
   EXPECT_DOUBLE_EQ(link.capacity_between(0, from_seconds(3)), 6000.0);

@@ -96,5 +96,29 @@ TEST(SampleSet, AddAfterQueryStillCorrect) {
   EXPECT_DOUBLE_EQ(s.median(), 2.0);
 }
 
+TEST(SampleSet, MergeMatchesSequential) {
+  SampleSet a, b, all;
+  for (double x : {5.0, 1.0, 9.0}) {
+    a.add(x);
+    all.add(x);
+  }
+  for (double x : {3.0, 7.0}) {
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.median(), all.median());
+  EXPECT_DOUBLE_EQ(a.quantile(0.9), all.quantile(0.9));
+  // Merging after a query (sorted state) still re-sorts correctly.
+  SampleSet c;
+  c.add(0.5);
+  a.merge(c);
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), 0.5);
+  // Merging an empty set is a no-op.
+  a.merge(SampleSet{});
+  EXPECT_EQ(a.count(), 6u);
+}
+
 }  // namespace
 }  // namespace dive::util
