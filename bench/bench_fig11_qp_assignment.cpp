@@ -3,7 +3,9 @@
 // The adaptive rule should win at most bandwidths, with the largest gap
 // over delta=5 at 1 Mbps.
 #include <cstdio>
+#include <string>
 
+#include "bench_record.h"
 #include "bench_util.h"
 
 int main() {
@@ -18,6 +20,7 @@ int main() {
   };
   const int deltas[] = {5, 15, 25, -1};  // -1 = adaptive
 
+  bench::BenchRecorder recorder("fig11_qp_assignment");
   for (const auto& spec : specs) {
     const auto clips = data::generate_dataset(spec);
     util::TextTable t(std::string("Fig. 11 on ") + data::to_string(spec.kind));
@@ -32,10 +35,16 @@ int main() {
         const auto r = harness::run_experiment(harness::SchemeKind::kDive,
                                                clips, net, opts);
         row.push_back(util::TextTable::fmt(r.map, 3));
+        recorder.add(std::string(data::to_string(spec.kind)) + ".map." +
+                         (delta < 0 ? "adaptive"
+                                    : "delta" + std::to_string(delta)) +
+                         "." + util::TextTable::fmt(mbps, 0) + "mbps",
+                     r.map, "mAP");
       }
       t.add_row(row);
     }
     std::printf("%s\n", t.to_string().c_str());
   }
+  recorder.write();
   return 0;
 }

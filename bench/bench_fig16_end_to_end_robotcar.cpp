@@ -7,6 +7,7 @@ int main() {
   return bench::run_end_to_end(
       bench::scaled(data::robotcar_like(), 1, 64),
       "Fig. 16: end-to-end comparison on RobotCar",
+      "fig16_end_to_end_robotcar",
       "DiVE highest mAP at every bandwidth (+2.8%..+39.1% over DDS); "
       "response <= ~134 ms, 1.7-8.4% below DDS; EAAR fastest but far less "
       "accurate");

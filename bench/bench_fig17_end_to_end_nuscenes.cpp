@@ -7,6 +7,7 @@ int main() {
   return bench::run_end_to_end(
       bench::scaled(data::nuscenes_like(), 1, 64),
       "Fig. 17: end-to-end comparison on nuScenes",
+      "fig17_end_to_end_nuscenes",
       "DiVE highest mAP at every bandwidth (+4.7%..+17.6% over DDS); "
       "response <= ~156 ms, 14-19.1% below DDS");
 }

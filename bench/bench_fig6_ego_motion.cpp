@@ -3,6 +3,7 @@
 // time on a stop-and-go clip vs. the ground-truth motion state.
 #include <cstdio>
 
+#include "bench_record.h"
 #include "bench_util.h"
 #include "codec/encoder.h"
 #include "util/stats.h"
@@ -49,6 +50,16 @@ int main() {
   std::printf("%s\n", cdf.to_string().c_str());
   std::printf("judgement accuracy at eta > %.2f: %.1f%% (%ld frames; paper: >98%%)\n\n",
               threshold, 100.0 * correct / std::max(1L, total), total);
+
+  bench::BenchRecorder recorder("fig6_ego_motion");
+  recorder.add("judgement_accuracy",
+               100.0 * correct / std::max(1L, total), "%");
+  recorder.add("frames_judged", static_cast<double>(total), "count");
+  if (!eta_stopped.empty())
+    recorder.add("eta_stopped.p90", eta_stopped.quantile(0.90), "ratio");
+  if (!eta_moving.empty())
+    recorder.add("eta_moving.p10", eta_moving.quantile(0.10), "ratio");
+  recorder.write();
 
   // (b) eta trace on one stop-and-go clip.
   auto trace_spec = spec;

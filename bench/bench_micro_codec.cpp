@@ -10,6 +10,7 @@
 #include "codec/encoder.h"
 #include "codec/motion_search.h"
 #include "codec/quant.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -95,6 +96,25 @@ void BM_EncodeInter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EncodeInter);
+
+// Same encode with an observability context attached. Arg(0): tracing
+// disabled — the instrumentation cost is a null/relaxed-atomic check per
+// stage and must stay within ~2% of BM_EncodeInter. Arg(1): tracing
+// enabled, showing the full recording cost.
+void BM_EncodeInterObs(benchmark::State& state) {
+  obs::ObsContext ctx;
+  ctx.tracer.set_enabled(state.range(0) != 0);
+  codec::Encoder enc({.width = 256, .height = 128});
+  enc.set_obs(&ctx);
+  enc.encode(textured_frame(256, 128, 7), 26);
+  const auto frame = textured_frame(256, 128, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.encode(frame, 26));
+    if (ctx.tracer.event_count() > 1u << 20) ctx.tracer.clear();
+  }
+  state.SetLabel(state.range(0) != 0 ? "tracing" : "obs-attached-disabled");
+}
+BENCHMARK(BM_EncodeInterObs)->Arg(0)->Arg(1);
 
 void BM_EncodeInterThreads(benchmark::State& state) {
   codec::Encoder enc(

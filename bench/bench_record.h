@@ -1,0 +1,157 @@
+// Machine-readable bench records: every figure bench can emit a
+// BENCH_<name>.json file next to its table output so CI and regression
+// tooling can track metrics without scraping text tables.
+//
+// File shape (schema 1):
+//   {"bench":"fig16_end_to_end_robotcar","schema":1,
+//    "git_rev":"<hash or unknown>",
+//    "records":[{"metric":"dive.map.1mbps","value":0.62,"unit":"mAP"},...]}
+//
+// Output directory: $DIVE_BENCH_OUT when set, else the current working
+// directory. Git revision: $DIVE_GIT_REV when set, else resolved by
+// walking up from the cwd to the nearest .git/HEAD (no subprocesses, so
+// records work in sandboxed CI).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dive::bench {
+
+struct BenchRecord {
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+};
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+inline std::string fmt_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+inline std::string read_first_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in && std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+      line.pop_back();
+    return line;
+  }
+  return {};
+}
+
+}  // namespace detail
+
+/// Best-effort current git revision; "unknown" when unresolvable.
+inline std::string git_revision() {
+  if (const char* env = std::getenv("DIVE_GIT_REV");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  std::string prefix;
+  for (int depth = 0; depth < 8; ++depth) {
+    const std::string head =
+        detail::read_first_line(prefix + ".git/HEAD");
+    if (!head.empty()) {
+      if (head.rfind("ref: ", 0) != 0) return head;  // detached HEAD
+      const std::string ref = head.substr(5);
+      const std::string direct =
+          detail::read_first_line(prefix + ".git/" + ref);
+      if (!direct.empty()) return direct;
+      // Ref may only exist in packed-refs.
+      std::ifstream packed(prefix + ".git/packed-refs");
+      std::string line;
+      while (packed && std::getline(packed, line)) {
+        if (line.size() == ref.size() + 41 && line[40] == ' ' &&
+            line.compare(41, ref.size(), ref) == 0) {
+          return line.substr(0, 40);
+        }
+      }
+      return "unknown";
+    }
+    prefix += "../";
+  }
+  return "unknown";
+}
+
+/// Collects (metric, value, unit) rows for one bench run and writes them
+/// as BENCH_<name>.json. Insertion order is preserved, so records are
+/// deterministic whenever the bench itself is.
+class BenchRecorder {
+ public:
+  explicit BenchRecorder(std::string name) : name_(std::move(name)) {}
+
+  void add(std::string metric, double value, std::string unit) {
+    records_.push_back({std::move(metric), value, std::move(unit)});
+  }
+
+  [[nodiscard]] const std::vector<BenchRecord>& records() const {
+    return records_;
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{\"bench\":\"" + detail::json_escape(name_) +
+                      "\",\"schema\":1,\"git_rev\":\"" +
+                      detail::json_escape(git_revision()) +
+                      "\",\"records\":[";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "{\"metric\":\"" + detail::json_escape(records_[i].metric) +
+             "\",\"value\":" + detail::fmt_value(records_[i].value) +
+             ",\"unit\":\"" + detail::json_escape(records_[i].unit) + "\"}";
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json into $DIVE_BENCH_OUT (or cwd); prints the
+  /// path on success so CI logs show where the record landed.
+  bool write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("DIVE_BENCH_OUT");
+        env != nullptr && *env != '\0') {
+      dir = env;
+    }
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "bench_record: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = to_json();
+    out.write(json.data(), static_cast<std::streamsize>(json.size()));
+    if (!out) return false;
+    std::printf("bench record: %s (%zu metrics)\n", path.c_str(),
+                records_.size());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace dive::bench

@@ -12,8 +12,10 @@
 //   ./build/bench/bench_serve_scaling
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "bench_record.h"
 #include "harness/experiment.h"
 #include "harness/serve_scenario.h"
 #include "util/table.h"
@@ -29,12 +31,21 @@ int main() {
                     "drop_up", "mot", "depth", "batch", "wait_ms", "e2e_ms",
                     "e2e_p95", "mAP"});
 
+  bench::BenchRecorder recorder("serve_scaling");
   for (int sessions : {1, 4, 16, 64}) {
     if (sessions > max_sessions) break;
     harness::ServeScenarioOptions opt = harness::default_serve_options();
     opt.sessions = sessions;
     opt.frames_per_session = frames;
     const harness::ServeScenarioResult r = harness::run_serve_scenario(opt);
+    const std::string tag = std::to_string(sessions) + "sessions";
+    recorder.add("map." + tag, r.aggregate_map, "mAP");
+    recorder.add("e2e_ms." + tag, r.mean_e2e_ms, "ms");
+    recorder.add("e2e_p95_ms." + tag, r.p95_e2e_ms, "ms");
+    recorder.add("dropped." + tag,
+                 static_cast<double>(r.dropped_queue + r.dropped_deadline +
+                                     r.dropped_uplink),
+                 "count");
     table.add_row({std::to_string(sessions), std::to_string(r.frames),
                    util::TextTable::fmt_pct(r.offload_fraction, 1),
                    std::to_string(r.dropped_queue),
@@ -67,5 +78,6 @@ int main() {
                 identical ? "identical metrics" : "MISMATCH");
     if (!identical) return 1;
   }
+  recorder.write();
   return 0;
 }

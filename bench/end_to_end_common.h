@@ -3,16 +3,21 @@
 // and response time.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 
+#include "bench_record.h"
 #include "bench_util.h"
 
 namespace dive::bench {
 
+/// `record_name` becomes BENCH_<record_name>.json (see bench_record.h).
 inline int run_end_to_end(data::DatasetSpec spec, const char* figure_id,
+                          const char* record_name,
                           const char* paper_summary) {
   print_header(figure_id, paper_summary);
   const auto clips = data::generate_dataset(spec);
+  BenchRecorder recorder(record_name);
 
   const harness::SchemeKind kinds[] = {
       harness::SchemeKind::kDive, harness::SchemeKind::kO3,
@@ -31,10 +36,17 @@ inline int run_end_to_end(data::DatasetSpec spec, const char* figure_id,
     net.mbps = mbps;
     double maps[4] = {};
     double rts[4] = {};
+    const std::string bw_tag =
+        util::TextTable::fmt(mbps, 0) + "mbps";
     for (int k = 0; k < 4; ++k) {
       const auto r = harness::run_experiment(kinds[k], clips, net);
       maps[k] = r.map;
       rts[k] = r.mean_response_ms;
+      std::string scheme = harness::to_string(kinds[k]);
+      for (char& c : scheme) c = static_cast<char>(std::tolower(c));
+      recorder.add(scheme + ".map." + bw_tag, r.map, "mAP");
+      recorder.add(scheme + ".response_ms." + bw_tag, r.mean_response_ms,
+                   "ms");
     }
     const std::string bw = util::TextTable::fmt(mbps, 0) + " Mbps";
     map_table.add_row(
@@ -49,6 +61,7 @@ inline int run_end_to_end(data::DatasetSpec spec, const char* figure_id,
   }
   std::printf("%s\n%s\n", map_table.to_string().c_str(),
               rt_table.to_string().c_str());
+  recorder.write();
   return 0;
 }
 

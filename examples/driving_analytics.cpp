@@ -5,11 +5,18 @@
 // in as a PGM image you can open with any viewer.
 //
 //   ./build/examples/driving_analytics [mbps]
+//
+// Profiling: set DIVE_TRACE_OUT=/path/to/trace.json to run the final
+// DiVE pass with tracing on and write a Chrome trace-event file (open it
+// at ui.perfetto.dev); a metrics table for the same run is printed to
+// stdout. DIVE_BENCH_CLIPS / DIVE_BENCH_FRAMES scale the dataset.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 
 #include "harness/experiment.h"
+#include "obs/obs.h"
 #include "util/table.h"
 #include "video/image_ops.h"
 
@@ -18,7 +25,9 @@ int main(int argc, char** argv) {
   const double mbps = argc > 1 ? std::atof(argv[1]) : 2.0;
 
   std::printf("urban driving scenario, %.1f Mbps uplink\n\n", mbps);
-  const auto spec = data::nuscenes_like(/*clip_count=*/2, /*frames=*/48);
+  const auto spec = data::nuscenes_like(
+      harness::env_int("DIVE_BENCH_CLIPS", 2),
+      harness::env_int("DIVE_BENCH_FRAMES", 48));
   const auto clips = data::generate_dataset(spec);
 
   harness::NetworkScenario net;
@@ -43,9 +52,17 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.to_string().c_str());
 
   // Render one annotated frame: run DiVE on a clip and draw its final
-  // detections into the raw frame.
-  auto scheme = harness::make_scheme(harness::SchemeKind::kDive, {}, net,
-                                     clips[0],
+  // detections into the raw frame. With DIVE_TRACE_OUT set this pass is
+  // also the profiled one: full metrics + a Perfetto-loadable trace.
+  const char* trace_out = std::getenv("DIVE_TRACE_OUT");
+  obs::ObsContext obs_ctx;
+  harness::SchemeOptions render_opts;
+  if (trace_out != nullptr && *trace_out != '\0') {
+    obs_ctx.tracer.set_enabled(true);
+    render_opts.obs = &obs_ctx;
+  }
+  auto scheme = harness::make_scheme(harness::SchemeKind::kDive, render_opts,
+                                     net, clips[0],
                                      clips[0].frame_count() / clips[0].fps);
   core::FrameOutcome last;
   for (const auto& rec : clips[0].frames)
@@ -57,5 +74,17 @@ int main(int argc, char** argv) {
   out.write(pgm.data(), static_cast<std::streamsize>(pgm.size()));
   std::printf("wrote driving_analytics_frame.pgm (%zu detections drawn)\n",
               last.detections.size());
+
+  if (render_opts.obs != nullptr) {
+    if (obs_ctx.tracer.write_chrome_json(trace_out, obs::TraceClock::kSim)) {
+      std::printf("wrote %s (%zu trace events; open at ui.perfetto.dev)\n",
+                  trace_out, obs_ctx.tracer.event_count());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n", trace_out);
+      return 1;
+    }
+    std::printf("\n");
+    obs_ctx.metrics.to_table().print(std::cout);
+  }
   return 0;
 }

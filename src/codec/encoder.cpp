@@ -13,6 +13,7 @@
 #include "codec/block_io.h"
 #include "codec/dct.h"
 #include "codec/quant.h"
+#include "obs/obs.h"
 #include "video/image_ops.h"
 
 namespace dive::codec {
@@ -163,8 +164,28 @@ Encoder::Encoder(EncoderConfig config)
     pool_ = std::make_unique<util::ThreadPool>(config_.threads);
 }
 
+void Encoder::set_obs(obs::ObsContext* obs) {
+  obs_ = obs;
+  obs_handles_ = {};
+  if (obs == nullptr) return;
+  auto& m = obs->metrics;
+  obs_handles_.frames = &m.counter("codec.frames");
+  obs_handles_.motion_searches = &m.counter("codec.motion_searches");
+  obs_handles_.trials_attempted = &m.counter("codec.rc.trials_attempted");
+  obs_handles_.trials_encoded = &m.counter("codec.rc.trials_encoded");
+  obs_handles_.trials_reused = &m.counter("codec.rc.trials_reused");
+  obs_handles_.full_passes = &m.counter("codec.rc.full_transform_passes");
+  obs_handles_.bytes_per_frame =
+      &m.distribution("codec.bytes_per_frame", "bytes");
+  obs_handles_.base_qp = &m.distribution("codec.base_qp", "qp");
+  obs_handles_.psnr_y = &m.distribution("codec.psnr_y", "dB");
+}
+
 MotionField Encoder::analyze_motion(const video::Frame& src) const {
   if (!has_reference_) return {};
+  DIVE_OBS_SPAN(span, obs_, "codec.motion_search", obs::kTrackCodec);
+  if (obs_handles_.motion_searches != nullptr)
+    obs_handles_.motion_searches->add();
   return searcher_.search_frame(src.y, reference_.y, pool_.get());
 }
 
@@ -181,6 +202,8 @@ Encoder::InterPlan Encoder::build_inter_plan(const video::Frame& src,
   const int mb_rows = config_.height / kMb;
   const std::size_t mb_count =
       static_cast<std::size_t>(mb_cols) * static_cast<std::size_t>(mb_rows);
+
+  DIVE_OBS_SPAN(span, obs_, "codec.inter_plan", obs::kTrackCodec);
 
   InterPlan plan;
   plan.preds.resize(mb_count * kBlocksPerMb);
@@ -219,6 +242,8 @@ Encoder::Trial Encoder::run_inter_trial(const InterPlan& plan, int base_qp,
                                         const QpOffsetMap* offsets,
                                         const MotionField& motion) const {
   base_qp = std::clamp(base_qp, kMinQp, kMaxQp);
+  DIVE_OBS_SPAN(span, obs_, "codec.inter_trial", obs::kTrackCodec);
+  span.arg("qp", base_qp);
   const int mb_cols = config_.width / kMb;
   const int mb_rows = config_.height / kMb;
   const std::size_t mb_count =
@@ -294,6 +319,8 @@ Encoder::Trial Encoder::run_inter_trial(const InterPlan& plan, int base_qp,
 Encoder::Trial Encoder::run_intra_trial(const video::Frame& src, int base_qp,
                                         const QpOffsetMap* offsets) const {
   base_qp = std::clamp(base_qp, kMinQp, kMaxQp);
+  DIVE_OBS_SPAN(span, obs_, "codec.intra_trial", obs::kTrackCodec);
+  span.arg("qp", base_qp);
   const int mb_cols = config_.width / kMb;
   const int mb_rows = config_.height / kMb;
 
@@ -351,6 +378,13 @@ EncodedFrame Encoder::commit(Trial trial, FrameType type,
   force_intra_ = false;
   ++frame_index_;
   last_qp_ = out.base_qp;
+
+  if (obs_handles_.frames != nullptr) {
+    obs_handles_.frames->add();
+    obs_handles_.bytes_per_frame->add(static_cast<double>(out.bytes()));
+    obs_handles_.base_qp->add(out.base_qp);
+    obs_handles_.psnr_y->add(out.psnr_y);
+  }
   return out;
 }
 
@@ -359,6 +393,8 @@ EncodedFrame Encoder::encode(const video::Frame& src, int base_qp,
                              const MotionField* motion) {
   if (src.width() != config_.width || src.height() != config_.height)
     throw std::invalid_argument("Encoder::encode: frame size mismatch");
+  DIVE_OBS_SPAN(span, obs_, "codec.encode", obs::kTrackCodec);
+  span.arg("base_qp", base_qp);
   const FrameType type = next_frame_type();
   MotionField local;
   if (type == FrameType::kInter && motion == nullptr) {
@@ -379,6 +415,8 @@ EncodedFrame Encoder::encode_to_target(const video::Frame& src,
                                        const MotionField* motion) {
   if (src.width() != config_.width || src.height() != config_.height)
     throw std::invalid_argument("Encoder::encode_to_target: size mismatch");
+  DIVE_OBS_SPAN(span, obs_, "codec.encode_to_target", obs::kTrackCodec);
+  span.arg("target_bytes", static_cast<long long>(target_bytes));
   const FrameType type = next_frame_type();
   MotionField local;
   if (type == FrameType::kInter && motion == nullptr) {
@@ -450,6 +488,13 @@ EncodedFrame Encoder::encode_to_target(const video::Frame& src,
 
   // The memo guarantees materializing the winner never re-encodes it.
   const int chosen_qp = best_qp >= 0 ? best_qp : over_qp;
+  span.arg("chosen_qp", chosen_qp);
+  if (obs_handles_.trials_attempted != nullptr) {
+    obs_handles_.trials_attempted->add(rc_stats_.trials_attempted);
+    obs_handles_.trials_encoded->add(rc_stats_.trials_encoded);
+    obs_handles_.trials_reused->add(rc_stats_.trials_reused);
+    obs_handles_.full_passes->add(rc_stats_.full_transform_passes);
+  }
   Trial chosen = std::move(memo.at(chosen_qp));
   return commit(std::move(chosen), type, motion, src);
 }

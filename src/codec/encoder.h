@@ -29,6 +29,12 @@
 #include "util/thread_pool.h"
 #include "video/frame.h"
 
+namespace dive::obs {
+struct ObsContext;
+class Counter;
+class Distribution;
+}  // namespace dive::obs
+
 namespace dive::codec {
 
 struct EncoderConfig {
@@ -102,6 +108,15 @@ class Encoder {
   /// Force the next encoded frame to be intra.
   void request_intra() { force_intra_ = true; }
 
+  /// Attaches an observability context (non-owning, null detaches):
+  /// "codec.*" metrics plus motion-search/plan/trial spans on
+  /// obs::kTrackCodec. Metric handles are resolved once here, so the
+  /// per-frame hot path pays only pointer checks; spans additionally
+  /// require the context's tracer to be enabled. All spans are emitted
+  /// from the calling thread — never from pool workers — so recorded
+  /// observations are identical for every thread count.
+  void set_obs(obs::ObsContext* obs);
+
   /// Trial accounting of the latest encode_to_target call.
   [[nodiscard]] const RateControlStats& rate_control_stats() const {
     return rc_stats_;
@@ -138,8 +153,23 @@ class Encoder {
   EncodedFrame commit(Trial trial, FrameType type, const MotionField* motion,
                       const video::Frame& src);
 
+  /// Cached metric handles (see set_obs); all null when unobserved.
+  struct ObsHandles {
+    obs::Counter* frames = nullptr;
+    obs::Counter* motion_searches = nullptr;
+    obs::Counter* trials_attempted = nullptr;
+    obs::Counter* trials_encoded = nullptr;
+    obs::Counter* trials_reused = nullptr;
+    obs::Counter* full_passes = nullptr;
+    obs::Distribution* bytes_per_frame = nullptr;
+    obs::Distribution* base_qp = nullptr;
+    obs::Distribution* psnr_y = nullptr;
+  };
+
   EncoderConfig config_;
   MotionSearcher searcher_;
+  obs::ObsContext* obs_ = nullptr;
+  ObsHandles obs_handles_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when serial
   video::Frame reference_;
   bool has_reference_ = false;

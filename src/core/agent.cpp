@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace dive::core {
 
 namespace {
@@ -28,54 +30,128 @@ DiveAgent::DiveAgent(DiveConfig config, codec::EncoderConfig encoder_config,
       extractor_(config.foreground),
       qp_assigner_(config.qp),
       bandwidth_(config.bandwidth),
-      tracker_(config.tracker) {}
+      tracker_(config.tracker) {
+  if (config_.obs != nullptr) {
+    encoder_.set_obs(config_.obs);
+    uplink_->set_obs(config_.obs);
+    server_->set_obs(config_.obs);
+  }
+}
 
 FrameOutcome DiveAgent::process_frame(const video::Frame& frame,
                                       util::SimTime capture_time) {
   FrameOutcome outcome;
+  obs::ObsContext* obs = config_.obs;
+  if (obs != nullptr) obs->tracer.set_sim_now(capture_time);
+  DIVE_OBS_SPAN(frame_span, obs, "agent.frame", obs::kTrackAgent);
 
   // 1-2. Motion vectors from the codec, then preprocessing.
-  const codec::MotionField motion = encoder_.analyze_motion(frame);
-  last_pre_ = preprocessor_.run(motion, camera_);
+  codec::MotionField motion;
+  {
+    DIVE_OBS_SPAN(span, obs, "agent.mv_harvest", obs::kTrackAgent);
+    motion = encoder_.analyze_motion(frame);
+    span.arg("nonzero_permille",
+             static_cast<long long>(motion.empty()
+                                        ? 0
+                                        : motion.nonzero_ratio() * 1000.0));
+  }
+  {
+    // Ego-motion judgement (eta) + R-sampling/RANSAC rotation estimate.
+    DIVE_OBS_SPAN(span, obs, "agent.preprocess", obs::kTrackAgent);
+    last_pre_ = preprocessor_.run(motion, camera_);
+    span.arg("eta_permille", static_cast<long long>(last_pre_.eta * 1000.0));
+    span.arg("moving", last_pre_.agent_moving ? 1 : 0);
+    span.arg("rotation_valid", last_pre_.rotation_valid ? 1 : 0);
+  }
 
   // 3. Foreground extraction (falls back to the last foreground when the
   //    agent is stopped or no motion field exists).
-  last_fg_ = extractor_.extract(last_pre_, camera_);
+  {
+    DIVE_OBS_SPAN(span, obs, "agent.foreground", obs::kTrackAgent);
+    last_fg_ = extractor_.extract(last_pre_, camera_);
+    span.arg("regions", static_cast<long long>(last_fg_.regions.size()));
+    span.arg("fallback", last_fg_.from_fallback ? 1 : 0);
+  }
 
   // 4. Adaptive video encoding to the estimated uplink budget.
-  const codec::QpOffsetMap offsets = qp_assigner_.build_map(
-      last_fg_, frame.width() / codec::kMacroblockSize,
-      frame.height() / codec::kMacroblockSize);
-  last_delta_ = qp_assigner_.background_delta(
-      last_fg_, frame.width() / codec::kMacroblockSize,
-      frame.height() / codec::kMacroblockSize);
+  const int mb_cols = frame.width() / codec::kMacroblockSize;
+  const int mb_rows = frame.height() / codec::kMacroblockSize;
+  codec::QpOffsetMap offsets;
+  {
+    DIVE_OBS_SPAN(span, obs, "agent.qp_assign", obs::kTrackAgent);
+    offsets = qp_assigner_.build_map(last_fg_, mb_cols, mb_rows);
+    last_delta_ = qp_assigner_.background_delta(last_fg_, mb_cols, mb_rows);
+    span.arg("bg_delta", last_delta_);
+  }
   const double budget_rate = bandwidth_.target_bytes_per_sec(capture_time);
   const auto target_bytes =
       static_cast<std::size_t>(std::max(1.0, budget_rate / config_.fps));
 
-  if (need_resync_) encoder_.request_intra();
-  const codec::EncodedFrame encoded = encoder_.encode_to_target(
-      frame, target_bytes, &offsets, motion.empty() ? nullptr : &motion);
+  if (need_resync_) {
+    encoder_.request_intra();
+    if (obs != nullptr) obs->metrics.counter("agent.intra_resyncs").add();
+  }
+  codec::EncodedFrame encoded;
+  {
+    DIVE_OBS_SPAN(span, obs, "agent.encode", obs::kTrackAgent);
+    encoded = encoder_.encode_to_target(frame, target_bytes, &offsets,
+                                        motion.empty() ? nullptr : &motion);
+    span.arg("base_qp", encoded.base_qp);
+    span.arg("bytes", static_cast<long long>(encoded.bytes()));
+    span.arg("trials",
+             static_cast<long long>(
+                 encoder_.rate_control_stats().trials_attempted));
+  }
   outcome.base_qp = encoded.base_qp;
 
   const util::SimTime ready =
       capture_time + config_.latencies.analysis + config_.latencies.encode;
+  if (obs != nullptr) {
+    // Simulated-timeline view of the Fig. 5 pipeline: the modelled
+    // on-agent compute interval; the uplink and edge emit their own.
+    obs->tracer.span_at("agent.analyze+encode", obs::kTrackAgent,
+                        capture_time, ready,
+                        {{"bytes", static_cast<long long>(encoded.bytes())}});
+    auto& m = obs->metrics;
+    m.counter("agent.frames").add();
+    m.distribution("agent.eta", "ratio").add(last_pre_.eta);
+    m.distribution("agent.fg_area_pct", "%")
+        .add(100.0 * last_fg_.area_fraction(frame.width(), frame.height()));
+    m.distribution("agent.bg_delta", "qp").add(last_delta_);
+    m.distribution("agent.encode_trials", "count")
+        .add(encoder_.rate_control_stats().trials_attempted);
+    m.gauge("agent.last_eta", "ratio").set(last_pre_.eta);
+  }
 
   // 5. Upload with head-of-line outage detection.
-  const net::TransmitResult tx =
-      uplink_->transmit_with_timeout(static_cast<double>(encoded.bytes()),
-                                     ready);
+  net::TransmitResult tx;
+  {
+    DIVE_OBS_SPAN(span, obs, "agent.transmit", obs::kTrackAgent);
+    tx = uplink_->transmit_with_timeout(static_cast<double>(encoded.bytes()),
+                                        ready);
+    span.arg("delivered", tx.delivered ? 1 : 0);
+  }
   if (tx.delivered) {
     need_resync_ = false;
     outcome.bytes_sent = encoded.bytes();
     outcome.offloaded = true;
     bandwidth_.add_transmission(static_cast<double>(encoded.bytes()),
                                 tx.started, tx.sent_complete);
-    const edge::InferenceResult inference =
-        server_->process(encoded.data, tx.arrival);
+    edge::InferenceResult inference;
+    {
+      DIVE_OBS_SPAN(span, obs, "agent.edge_infer", obs::kTrackAgent);
+      inference = server_->process(encoded.data, tx.arrival);
+    }
     last_detections_ = inference.detections;
     outcome.detections = inference.detections;
     outcome.response_time = inference.result_at_agent - capture_time;
+    if (obs != nullptr) {
+      obs->metrics.counter("agent.offloaded").add();
+      obs->metrics.counter("agent.bytes_sent", "bytes")
+          .add(static_cast<std::int64_t>(encoded.bytes()));
+      obs->metrics.distribution("agent.response_ms", "ms")
+          .add(util::to_millis(outcome.response_time));
+    }
     return outcome;
   }
 
@@ -83,17 +159,27 @@ FrameOutcome DiveAgent::process_frame(const video::Frame& frame,
   // the server is now behind ours, so the next delivered frame must be
   // intra-coded.
   need_resync_ = true;
-  if (config_.enable_offline_tracking) {
-    last_detections_ = tracker_.track(last_detections_, motion, frame.width(),
-                                      frame.height());
-    outcome.detections = last_detections_;
-  } else {
-    // Without MOT the agent simply reuses the stale result.
-    outcome.detections = last_detections_;
+  {
+    DIVE_OBS_SPAN(span, obs, "agent.mot_fallback", obs::kTrackAgent);
+    if (config_.enable_offline_tracking) {
+      last_detections_ = tracker_.track(last_detections_, motion,
+                                        frame.width(), frame.height());
+      outcome.detections = last_detections_;
+    } else {
+      // Without MOT the agent simply reuses the stale result.
+      outcome.detections = last_detections_;
+    }
   }
   outcome.response_time =
       (tx.gave_up_at - capture_time) + config_.latencies.local_track;
   outcome.offloaded = false;
+  if (obs != nullptr) {
+    obs->metrics.counter("agent.fallbacks").add();
+    obs->metrics.distribution("agent.response_ms", "ms")
+        .add(util::to_millis(outcome.response_time));
+    obs->tracer.span_at("agent.mot_track", obs::kTrackAgent, tx.gave_up_at,
+                        tx.gave_up_at + config_.latencies.local_track);
+  }
   return outcome;
 }
 

@@ -21,6 +21,10 @@
 #include "geom/pinhole_camera.h"
 #include "net/uplink.h"
 
+namespace dive::obs {
+struct ObsContext;
+}  // namespace dive::obs
+
 namespace dive::core {
 
 struct DiveConfig {
@@ -38,6 +42,13 @@ struct DiveConfig {
   /// the DIVE_THREADS env var / hardware default; 1 forces serial.
   /// Encoded output is bit-identical for every value.
   int encode_threads = 0;
+  /// Observability context (non-owning; null = unobserved). The agent
+  /// forwards it to its encoder, uplink, and edge server, and emits
+  /// per-stage spans (MV harvest, preprocess/eta, foreground, QP
+  /// assignment, encode, transmit, MOT fallback) plus "agent.*" metrics.
+  /// Stage spans are recorded from the calling thread onto fixed tracks,
+  /// so a same-seed run observes identically for every encode_threads.
+  obs::ObsContext* obs = nullptr;
 };
 
 class DiveAgent final : public AnalyticsScheme {

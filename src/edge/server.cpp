@@ -1,5 +1,7 @@
 #include "edge/server.h"
 
+#include "obs/obs.h"
+
 namespace dive::edge {
 
 InferenceResult EdgeServer::process(std::span<const std::uint8_t> data,
@@ -13,12 +15,28 @@ InferenceResult EdgeServer::process(std::span<const std::uint8_t> data,
   result.result_at_agent = arrival + config_.decode_latency +
                            config_.inference_latency + jitter +
                            config_.downlink_delay;
+
+  if (obs_ != nullptr) {
+    obs_->metrics.counter("edge.frames").add();
+    obs_->metrics.counter("edge.detections")
+        .add(static_cast<std::int64_t>(result.detections.size()));
+    obs_->metrics.distribution("edge.service_ms", "ms")
+        .add(util::to_millis(result.result_at_agent - arrival));
+    obs_->tracer.span_at(
+        "edge.process", obs::kTrackEdge, arrival,
+        result.result_at_agent - config_.downlink_delay,
+        {{"detections", static_cast<long long>(result.detections.size())}});
+    obs_->tracer.span_at("edge.downlink", obs::kTrackEdge,
+                         result.result_at_agent - config_.downlink_delay,
+                         result.result_at_agent);
+  }
   return result;
 }
 
 DetectionList EdgeServer::decode_and_detect(
     std::span<const std::uint8_t> data) {
   const codec::DecodedFrame decoded = decoder_.decode(data);
+  if (obs_ != nullptr) obs_->metrics.counter("edge.decodes").add();
   return detector_.detect(decoded.frame);
 }
 

@@ -22,6 +22,10 @@
 #include "util/rng.h"
 #include "util/sim_clock.h"
 
+namespace dive::obs {
+struct ObsContext;
+}  // namespace dive::obs
+
 namespace dive::edge {
 
 struct ServerConfig {
@@ -73,11 +77,17 @@ class EdgeServer {
   /// the serving layer indexes jitter by its own per-session counter).
   [[nodiscard]] std::uint64_t frames_processed() const { return processed_; }
 
+  /// Attaches an observability context (non-owning, null detaches):
+  /// "edge.*" counters and a per-frame service span on obs::kTrackEdge
+  /// spanning arrival -> result-at-agent (simulated time).
+  void set_obs(obs::ObsContext* obs) { obs_ = obs; }
+
  private:
   ServerConfig config_;
   codec::Decoder decoder_;
   ChromaDetector detector_;
   util::Rng rng_;  ///< base seed; per-frame streams are forked off it
+  obs::ObsContext* obs_ = nullptr;
   std::uint64_t processed_ = 0;
 };
 

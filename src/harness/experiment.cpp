@@ -72,6 +72,7 @@ std::unique_ptr<core::AnalyticsScheme> make_scheme(
       cfg.qp.fixed_delta = options.fixed_delta;
       cfg.enable_offline_tracking = options.enable_offline_tracking;
       cfg.seed = options.seed;
+      cfg.obs = options.obs;
       return std::make_unique<core::DiveAgent>(cfg, enc_cfg, clip.camera,
                                                uplink, server);
     }

@@ -20,6 +20,10 @@
 #include "net/bandwidth.h"
 #include "util/stats.h"
 
+namespace dive::obs {
+struct ObsContext;
+}
+
 namespace dive::harness {
 
 enum class SchemeKind {
@@ -57,6 +61,9 @@ struct SchemeOptions {
   int keyframe_interval = 6;            ///< O3 / EAAR
   int gop_length = 48;
   std::uint64_t seed = 99;
+  /// Optional observability context, forwarded into the DiVE agent (and
+  /// its encoder/uplink/edge server). Non-owning; must outlive the run.
+  obs::ObsContext* obs = nullptr;
 };
 
 struct RunResult {

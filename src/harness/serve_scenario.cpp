@@ -62,6 +62,7 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioOptions& options) {
   serve::ServeNodeConfig node_cfg = options.node;
   node_cfg.seed = options.seed;  // the scenario seed governs everything
   serve::ServeNode node(node_cfg);
+  node.set_obs(options.obs);
 
   const double fps = pool.front().fps;
   const util::SimTime frame_period = util::from_seconds(1.0 / fps);

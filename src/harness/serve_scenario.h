@@ -43,6 +43,9 @@ struct ServeScenarioOptions {
   bool enable_offline_tracking = true;
   serve::ServeNodeConfig node;
   std::uint64_t seed = 99;
+  /// Optional observability context attached to the node (per-session
+  /// infer spans, admission-drop instants, serve.* metrics on drain).
+  obs::ObsContext* obs = nullptr;
 };
 
 /// Defaults tuned so the 1 -> 64 sweep crosses the node's capacity:

@@ -3,12 +3,41 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace dive::net {
 
 Uplink::Uplink(std::shared_ptr<const BandwidthTrace> trace,
                UplinkConfig config)
     : trace_(std::move(trace)), config_(config) {
   if (trace_ == nullptr) throw std::invalid_argument("Uplink: null trace");
+}
+
+/// Metric/span bookkeeping shared by both transmit paths; everything is
+/// computed from simulated timestamps, so observation is deterministic.
+TransmitResult Uplink::record(const char* span_name, const TransmitResult& r,
+                              double bytes, util::SimTime enqueue_time) {
+  if (obs_ == nullptr) return r;
+  auto& m = obs_->metrics;
+  m.counter("net.transmits").add();
+  m.distribution("net.queue_ms", "ms")
+      .add(util::to_millis(r.started - enqueue_time));
+  if (r.delivered) {
+    m.counter("net.delivered").add();
+    m.counter("net.bytes_delivered", "bytes")
+        .add(static_cast<std::int64_t>(bytes));
+    m.distribution("net.transmit_ms", "ms")
+        .add(util::to_millis(r.sent_complete - r.started));
+    obs_->tracer.span_at(span_name, obs::kTrackNet, r.started,
+                         r.sent_complete,
+                         {{"bytes", static_cast<long long>(bytes)}});
+  } else {
+    m.counter("net.outages").add();
+    obs_->tracer.span_at("net.timeout", obs::kTrackNet, r.started,
+                         r.gave_up_at,
+                         {{"bytes", static_cast<long long>(bytes)}});
+  }
+  return r;
 }
 
 TransmitResult Uplink::transmit(double bytes, util::SimTime enqueue_time) {
@@ -26,10 +55,13 @@ TransmitResult Uplink::transmit(double bytes, util::SimTime enqueue_time) {
     r.started = start;
     r.gave_up_at = horizon;
     busy_until_ = std::max(busy_until_, horizon);
-    return r;
+    return record("net.transmit", r, bytes, enqueue_time);
   }
   busy_until_ = complete;
-  return {true, start, complete, complete + config_.propagation_delay, 0};
+  return record("net.transmit",
+                {true, start, complete, complete + config_.propagation_delay,
+                 0},
+                bytes, enqueue_time);
 }
 
 TransmitResult Uplink::transmit_with_timeout(double bytes,
@@ -45,10 +77,13 @@ TransmitResult Uplink::transmit_with_timeout(double bytes,
     r.gave_up_at = deadline;
     // Dropped frame: the radio is idle again from the moment we gave up.
     busy_until_ = std::max(busy_until_, deadline);
-    return r;
+    return record("net.transmit", r, bytes, enqueue_time);
   }
   busy_until_ = complete;
-  return {true, head_time, complete, complete + config_.propagation_delay, 0};
+  return record("net.transmit",
+                {true, head_time, complete,
+                 complete + config_.propagation_delay, 0},
+                bytes, enqueue_time);
 }
 
 double Uplink::capacity_between(util::SimTime t0, util::SimTime t1) const {

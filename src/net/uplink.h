@@ -13,6 +13,10 @@
 #include "net/bandwidth.h"
 #include "util/sim_clock.h"
 
+namespace dive::obs {
+struct ObsContext;
+}  // namespace dive::obs
+
 namespace dive::net {
 
 struct UplinkConfig {
@@ -57,9 +61,18 @@ class Uplink {
   [[nodiscard]] util::SimTime busy_until() const { return busy_until_; }
   [[nodiscard]] const UplinkConfig& config() const { return config_; }
 
+  /// Attaches an observability context (non-owning, null detaches):
+  /// "net.*" counters/distributions and serialization spans on
+  /// obs::kTrackNet, all derived from simulated time (deterministic).
+  void set_obs(obs::ObsContext* obs) { obs_ = obs; }
+
  private:
+  TransmitResult record(const char* span_name, const TransmitResult& r,
+                        double bytes, util::SimTime enqueue_time);
+
   std::shared_ptr<const BandwidthTrace> trace_;
   UplinkConfig config_;
+  obs::ObsContext* obs_ = nullptr;
   util::SimTime busy_until_ = 0;
 };
 

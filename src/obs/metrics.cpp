@@ -1,0 +1,194 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace dive::obs {
+
+namespace {
+
+/// Shortest round-trippable-ish representation; deterministic for a given
+/// value on a given libc, which is all the byte-identical exports need.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Distribution::Summary Distribution::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Summary s;
+  s.count = samples_.count();
+  if (s.count == 0) return s;
+  std::vector<double> sorted = samples_.samples();
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double acc = 0.0;
+  for (double x : sorted) acc += x;
+  s.mean = acc / static_cast<double>(sorted.size());
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  s.p50 = at(0.5);
+  s.p90 = at(0.9);
+  s.p99 = at(0.99);
+  return s;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& unit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.count(name) || distributions_.count(name))
+    throw std::logic_error("MetricsRegistry: '" + name +
+                           "' already bound to another kind");
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(unit)))
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& unit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) || distributions_.count(name))
+    throw std::logic_error("MetricsRegistry: '" + name +
+                           "' already bound to another kind");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(unit))).first;
+  return *it->second;
+}
+
+Distribution& MetricsRegistry::distribution(const std::string& name,
+                                            const std::string& unit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) || gauges_.count(name))
+    throw std::logic_error("MetricsRegistry: '" + name +
+                           "' already bound to another kind");
+  auto it = distributions_.find(name);
+  if (it == distributions_.end())
+    it = distributions_
+             .emplace(name, std::unique_ptr<Distribution>(new Distribution(
+                                unit)))
+             .first;
+  return *it->second;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + distributions_.size();
+}
+
+util::TextTable MetricsRegistry::to_table() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::TextTable table("metrics");
+  table.set_header({"name", "kind", "count", "value", "mean", "min", "max",
+                    "p50", "p99", "unit"});
+  for (const auto& [name, c] : counters_) {
+    table.add_row({name, "counter", "-", std::to_string(c->value()), "-", "-",
+                   "-", "-", "-", c->unit()});
+  }
+  for (const auto& [name, g] : gauges_) {
+    table.add_row({name, "gauge", "-", util::TextTable::fmt(g->value(), 3),
+                   "-", "-", "-", "-", "-", g->unit()});
+  }
+  for (const auto& [name, d] : distributions_) {
+    const auto s = d->summary();
+    table.add_row({name, "dist", std::to_string(s.count), "-",
+                   util::TextTable::fmt(s.mean, 3),
+                   util::TextTable::fmt(s.min, 3),
+                   util::TextTable::fmt(s.max, 3),
+                   util::TextTable::fmt(s.p50, 3),
+                   util::TextTable::fmt(s.p99, 3), d->unit()});
+  }
+  return table;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) +
+           "\": {\"value\": " + std::to_string(c->value()) + ", \"unit\": \"" +
+           json_escape(c->unit()) + "\"}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) +
+           "\": {\"value\": " + fmt_double(g->value()) + ", \"unit\": \"" +
+           json_escape(g->unit()) + "\"}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"distributions\": {";
+  first = true;
+  for (const auto& [name, d] : distributions_) {
+    const auto s = d->summary();
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) +
+           "\": {\"count\": " + std::to_string(s.count) +
+           ", \"min\": " + fmt_double(s.min) + ", \"max\": " +
+           fmt_double(s.max) + ", \"mean\": " + fmt_double(s.mean) +
+           ", \"p50\": " + fmt_double(s.p50) + ", \"p90\": " +
+           fmt_double(s.p90) + ", \"p99\": " + fmt_double(s.p99) +
+           ", \"unit\": \"" + json_escape(d->unit()) + "\"}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "name,kind,unit,count,value,min,max,mean,p50,p90,p99\n";
+  for (const auto& [name, c] : counters_) {
+    out += name + ",counter," + c->unit() + ",," +
+           std::to_string(c->value()) + ",,,,,,\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += name + ",gauge," + g->unit() + ",," + fmt_double(g->value()) +
+           ",,,,,,\n";
+  }
+  for (const auto& [name, d] : distributions_) {
+    const auto s = d->summary();
+    out += name + ",dist," + d->unit() + "," + std::to_string(s.count) +
+           ",," + fmt_double(s.min) + "," + fmt_double(s.max) + "," +
+           fmt_double(s.mean) + "," + fmt_double(s.p50) + "," +
+           fmt_double(s.p90) + "," + fmt_double(s.p99) + "\n";
+  }
+  return out;
+}
+
+}  // namespace dive::obs

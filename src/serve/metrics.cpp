@@ -77,4 +77,34 @@ util::TextTable ServeMetrics::summary_table() const {
   return table;
 }
 
+void ServeMetrics::publish(obs::MetricsRegistry& registry) const {
+  const SessionCounters total = aggregate();
+  registry.counter("serve.sessions").set(
+      static_cast<std::int64_t>(per_session_.size()));
+  registry.counter("serve.submitted").set(total.submitted);
+  registry.counter("serve.admitted").set(total.admitted);
+  registry.counter("serve.dropped_queue").set(total.dropped_queue);
+  registry.counter("serve.dropped_deadline").set(total.dropped_deadline);
+  registry.counter("serve.dropped_uplink").set(total.dropped_uplink);
+  registry.counter("serve.completed").set(total.completed);
+  registry.gauge("serve.queue_depth_mean").set(total.queue_depth.mean());
+  registry.gauge("serve.batch_size_mean").set(total.batch_size.mean());
+  registry.distribution("serve.wait_ms", "ms").assign(total.wait_ms);
+  registry.distribution("serve.e2e_ms", "ms").assign(total.e2e_ms);
+
+  // Cross-session spread: one sample per session, so p99 answers "how
+  // unfair is the node under load" without exploding the name space.
+  util::SampleSet completed, dropped, e2e_mean;
+  for (const auto& s : per_session_) {
+    completed.add(static_cast<double>(s.completed));
+    dropped.add(static_cast<double>(s.dropped() + s.dropped_uplink));
+    if (!s.e2e_ms.empty()) e2e_mean.add(s.e2e_ms.mean());
+  }
+  registry.distribution("serve.per_session.completed", "count")
+      .assign(completed);
+  registry.distribution("serve.per_session.dropped", "count").assign(dropped);
+  registry.distribution("serve.per_session.e2e_mean_ms", "ms")
+      .assign(e2e_mean);
+}
+
 }  // namespace dive::serve

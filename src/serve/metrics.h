@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -48,6 +49,17 @@ class ServeMetrics {
 
   /// Single-row node summary of the aggregate.
   [[nodiscard]] util::TextTable summary_table() const;
+
+  /// Publishes everything into a unified metrics registry under
+  /// "serve.*": aggregate counters (serve.submitted, serve.admitted,
+  /// serve.dropped_*, serve.completed), latency/batch distributions
+  /// (serve.wait_ms, serve.e2e_ms, serve.batch_size, serve.queue_depth),
+  /// and cross-session spread distributions (serve.per_session.*, one
+  /// sample per session). Publication is idempotent — counters are `set`
+  /// and distributions `assign`ed — so calling it after every drain
+  /// leaves the registry equal to the latest state, and the serving
+  /// layer shares one export surface with the agent/codec/net metrics.
+  void publish(obs::MetricsRegistry& registry) const;
 
  private:
   std::vector<SessionCounters> per_session_;  ///< indexed by session id

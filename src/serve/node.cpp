@@ -36,13 +36,34 @@ AdmissionVerdict ServeNode::submit(FrameJob job) {
   const AdmissionVerdict verdict = admission_.decide(
       s, job.capture_time, predicted_done, config_.server.downlink_delay);
   switch (verdict) {
-    case AdmissionVerdict::kQueueFull: ++counters.dropped_queue; return verdict;
-    case AdmissionVerdict::kDeadline: ++counters.dropped_deadline; return verdict;
+    case AdmissionVerdict::kQueueFull:
+      ++counters.dropped_queue;
+      if (obs_ != nullptr) {
+        obs_->tracer.instant("serve.drop_queue", obs::kTrackServe, job.arrival,
+                             {{"session", job.session_id},
+                              {"frame", static_cast<long long>(job.frame_index)}});
+      }
+      return verdict;
+    case AdmissionVerdict::kDeadline:
+      ++counters.dropped_deadline;
+      if (obs_ != nullptr) {
+        obs_->tracer.instant("serve.drop_deadline", obs::kTrackServe,
+                             job.arrival,
+                             {{"session", job.session_id},
+                              {"frame", static_cast<long long>(job.frame_index)}});
+      }
+      return verdict;
     case AdmissionVerdict::kAdmit: break;
   }
 
   ++counters.admitted;
   counters.queue_depth.add(static_cast<double>(s.queue_depth()));
+  if (obs_ != nullptr) {
+    obs_->tracer.instant("serve.queued",
+                         obs::kTrackSessionBase + job.session_id, job.arrival,
+                         {{"frame", static_cast<long long>(job.frame_index)},
+                          {"depth", static_cast<long long>(s.queue_depth())}});
+  }
   s.on_admitted();
   payloads_.emplace(std::make_pair(job.session_id, job.frame_index),
                     std::move(job.data));
@@ -85,6 +106,17 @@ std::vector<JobResult> ServeNode::realize(std::vector<Batch> batches) {
       counters.wait_ms.add(util::to_millis(batch.start - job.arrival));
       counters.e2e_ms.add(
           util::to_millis(r.result_at_agent - job.capture_time));
+      if (obs_ != nullptr) {
+        // One span per completed inference on the session's own track:
+        // queue wait is visible as the gap from the preceding
+        // serve.queued instant to this span's start.
+        obs_->tracer.span_at(
+            "serve.infer", obs::kTrackSessionBase + job.session_id,
+            batch.start, batch.done,
+            {{"frame", static_cast<long long>(job.frame_index)},
+             {"batch", static_cast<long long>(batch.jobs.size())},
+             {"detections", static_cast<long long>(r.detections.size())}});
+      }
       results.push_back(std::move(r));
     }
   }
@@ -104,7 +136,9 @@ std::vector<JobResult> ServeNode::run_until(util::SimTime now) {
 }
 
 std::vector<JobResult> ServeNode::drain() {
-  return realize(scheduler_.drain());
+  std::vector<JobResult> results = realize(scheduler_.drain());
+  if (obs_ != nullptr) metrics_.publish(obs_->metrics);
+  return results;
 }
 
 }  // namespace dive::serve

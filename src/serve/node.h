@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "edge/server.h"
+#include "obs/obs.h"
 #include "serve/admission.h"
 #include "serve/metrics.h"
 #include "serve/scheduler.h"
@@ -84,6 +85,14 @@ class ServeNode {
   [[nodiscard]] const ServeMetrics& metrics() const { return metrics_; }
   [[nodiscard]] const ServeNodeConfig& config() const { return config_; }
 
+  /// Attaches an observability context (non-owning, null detaches).
+  /// Every realized inference emits a span on its session's track
+  /// (obs::kTrackSessionBase + id) over [infer_start, infer_done] in
+  /// simulated time; admission rejections emit instants on
+  /// obs::kTrackServe; drain() republishes ServeMetrics into the
+  /// registry so all layers share one export surface.
+  void set_obs(obs::ObsContext* obs) { obs_ = obs; }
+
  private:
   std::vector<JobResult> realize(std::vector<Batch> batches);
 
@@ -91,6 +100,7 @@ class ServeNode {
   AdmissionController admission_;
   Scheduler scheduler_;
   ServeMetrics metrics_;
+  obs::ObsContext* obs_ = nullptr;
   std::vector<std::unique_ptr<Session>> sessions_;
   /// Payloads of admitted jobs awaiting dispatch.
   std::map<std::pair<std::uint32_t, std::uint64_t>, std::vector<std::uint8_t>>

@@ -1,12 +1,24 @@
 #include "util/logging.h"
 
 #include <atomic>
-#include <iostream>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace dive::util {
 
 namespace {
+
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_write_mutex;
+
+/// One-time env initialization, hooked into the first level query so no
+/// static-init ordering is imposed on callers.
+std::once_flag g_env_once;
+void ensure_env_init() {
+  std::call_once(g_env_once, [] { init_log_level_from_env(); });
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,14 +30,52 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+LogLevel parse_log_level(const char* value, LogLevel fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  std::string lower;
+  for (const char* p = value; *p != '\0'; ++p)
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning" || lower == "2")
+    return LogLevel::kWarn;
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  if (lower == "off" || lower == "none" || lower == "4") return LogLevel::kOff;
+  return fallback;
+}
+
+void init_log_level_from_env() {
+  g_level.store(parse_log_level(std::getenv("DIVE_LOG_LEVEL")));
+}
+
+void set_log_level(LogLevel level) {
+  ensure_env_init();  // a later explicit set always wins over the env
+  g_level.store(level);
+}
+
+LogLevel log_level() {
+  ensure_env_init();
+  return g_level.load();
+}
 
 void log_line(LogLevel level, const std::string& msg) {
+  ensure_env_init();
   if (level < g_level.load()) return;
-  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+  // Format the complete line first, then emit it with one write under a
+  // mutex: concurrent thread-pool workers get whole lines, never shreds.
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace dive::util

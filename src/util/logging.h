@@ -9,11 +9,24 @@ namespace dive::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global minimum level; messages below it are dropped.
+/// Global minimum level; messages below it are dropped. The initial
+/// level honors the DIVE_LOG_LEVEL environment variable at startup
+/// ("debug" | "info" | "warn" | "error" | "off", case-insensitive, or
+/// the numeric values 0-4); unset or unparsable falls back to kWarn.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parses a DIVE_LOG_LEVEL-style value; `fallback` when unrecognized.
+LogLevel parse_log_level(const char* value, LogLevel fallback = LogLevel::kWarn);
+
+/// Re-reads DIVE_LOG_LEVEL and applies it (startup does this once;
+/// exposed for tests and long-running tools that reload config).
+void init_log_level_from_env();
+
 /// Emit one line to stderr with a level prefix (no-op below threshold).
+/// The whole line is formatted into a single buffer and written under a
+/// mutex, so concurrent callers (thread-pool workers) never interleave
+/// fragments of their lines.
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -33,15 +33,31 @@ class RunningStats {
 
 /// Collects raw samples to answer quantile/CDF queries. Used for the
 /// CDF figures (Fig. 6a, Fig. 7a/b).
+///
+/// THREAD-SAFETY CONTRACT: the const query methods (quantile, median,
+/// cdf_at, cdf_curve) lazily sort `mutable` state on first use, so two
+/// concurrent const queries on a not-yet-sorted set race on the backing
+/// vector. Either serialize queries, or call sort_samples() once after
+/// the last mutation — after that, const queries only read and are safe
+/// to run concurrently until the next add()/merge() dirties the order
+/// again (exercised under ThreadSanitizer in obs_test).
 class SampleSet {
  public:
-  void add(double x) { samples_.push_back(x); }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
   /// Appends every sample of `other` (aggregating per-session sets).
   void merge(const SampleSet& other);
   void reserve(std::size_t n) { samples_.reserve(n); }
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Sorts the backing store now. Publishing a set for concurrent
+  /// read-only quantile/CDF queries requires calling this first (see the
+  /// class-level thread-safety contract).
+  void sort_samples() const { ensure_sorted(); }
 
   /// q in [0,1]; linear interpolation between order statistics.
   [[nodiscard]] double quantile(double q) const;

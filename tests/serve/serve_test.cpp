@@ -324,5 +324,116 @@ TEST(ServeScenario, BatchingRaisesSustainableLoad) {
   EXPECT_GT(with_batching.mean_batch, 1.0);
 }
 
+// ------------------------------------------------------------ ServeMetrics
+
+TEST(ServeMetrics, ZeroCompletedSessionsRenderSafely) {
+  ServeMetrics metrics;
+  metrics.session(0);  // opened but never served
+  metrics.session(1).submitted = 3;
+  metrics.session(1).dropped_queue = 3;
+
+  // Empty SampleSets must not trip the quantile paths in either table.
+  const std::string per_session = metrics.session_table().to_string();
+  const std::string summary = metrics.summary_table().to_string();
+  EXPECT_NE(per_session.find("0"), std::string::npos);
+  EXPECT_NE(summary.find("all"), std::string::npos);
+
+  const SessionCounters agg = metrics.aggregate();
+  EXPECT_EQ(agg.submitted, 3);
+  EXPECT_EQ(agg.completed, 0);
+  EXPECT_TRUE(agg.e2e_ms.empty());
+}
+
+TEST(ServeMetrics, MetricsForUnknownSessionThrow) {
+  const ServeMetrics metrics;
+  EXPECT_THROW(metrics.session(0), std::out_of_range);
+}
+
+SessionCounters sample_counters(long completed, double e2e_base) {
+  SessionCounters c;
+  c.submitted = completed + 1;
+  c.admitted = completed;
+  c.completed = completed;
+  c.dropped_queue = 1;
+  for (long i = 0; i < completed; ++i) {
+    c.queue_depth.add(static_cast<double>(i % 3));
+    c.batch_size.add(static_cast<double>(1 + i % 4));
+    c.wait_ms.add(5.0 + static_cast<double>(i));
+    c.e2e_ms.add(e2e_base + static_cast<double>(i));
+  }
+  return c;
+}
+
+TEST(ServeMetrics, MergeIsAssociative) {
+  const SessionCounters a = sample_counters(3, 100.0);
+  const SessionCounters b = sample_counters(5, 140.0);
+  const SessionCounters c = sample_counters(2, 80.0);
+
+  SessionCounters left = a;        // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  SessionCounters bc = b;          // a + (b + c)
+  bc.merge(c);
+  SessionCounters right = a;
+  right.merge(bc);
+
+  EXPECT_EQ(left.submitted, right.submitted);
+  EXPECT_EQ(left.completed, right.completed);
+  EXPECT_EQ(left.dropped(), right.dropped());
+  EXPECT_EQ(left.e2e_ms.count(), right.e2e_ms.count());
+  EXPECT_DOUBLE_EQ(left.e2e_ms.quantile(0.5), right.e2e_ms.quantile(0.5));
+  EXPECT_DOUBLE_EQ(left.wait_ms.quantile(0.95), right.wait_ms.quantile(0.95));
+  EXPECT_NEAR(left.batch_size.mean(), right.batch_size.mean(), 1e-12);
+}
+
+TEST(ServeMetrics, PublishIsIdempotentAndMatchesAggregate) {
+  ServeMetrics metrics;
+  metrics.session(0) = sample_counters(4, 90.0);
+  metrics.session(1) = sample_counters(6, 120.0);
+
+  obs::MetricsRegistry registry;
+  metrics.publish(registry);
+  const std::string first = registry.to_json();
+  metrics.publish(registry);  // must not double-count
+  EXPECT_EQ(registry.to_json(), first);
+
+  const SessionCounters agg = metrics.aggregate();
+  EXPECT_EQ(registry.counter("serve.submitted").value(), agg.submitted);
+  EXPECT_EQ(registry.counter("serve.completed").value(), agg.completed);
+  EXPECT_EQ(registry.counter("serve.sessions").value(), 2);
+  EXPECT_EQ(registry.distribution("serve.e2e_ms").count(),
+            agg.e2e_ms.count());
+  EXPECT_EQ(registry.distribution("serve.per_session.completed").count(), 2u);
+}
+
+TEST(ServeMetrics, PublishHandlesZeroSessions) {
+  const ServeMetrics metrics;
+  obs::MetricsRegistry registry;
+  metrics.publish(registry);  // no sessions at all: all zeros, no throw
+  EXPECT_EQ(registry.counter("serve.sessions").value(), 0);
+  EXPECT_EQ(registry.distribution("serve.e2e_ms").count(), 0u);
+}
+
+TEST(ServeScenario, ObsContextCollectsSpansAndMetrics) {
+  obs::ObsContext ctx;
+  ctx.tracer.set_enabled(true);
+  harness::ServeScenarioOptions opt = small_scenario(2);
+  opt.obs = &ctx;
+  const auto r = harness::run_serve_scenario(opt);
+
+  // drain() published the node's metrics into the shared registry...
+  EXPECT_EQ(ctx.metrics.counter("serve.completed").value(), r.completed);
+  // ...and every completed inference left a span on its session track.
+  std::size_t infer_spans = 0;
+  for (const auto& ev : ctx.tracer.snapshot()) {
+    if (ev.name == "serve.infer") {
+      ++infer_spans;
+      EXPECT_GE(ev.track, obs::kTrackSessionBase);
+      EXPECT_GE(ev.sim_end, ev.sim_begin);
+    }
+  }
+  EXPECT_EQ(infer_spans, static_cast<std::size_t>(r.completed));
+}
+
 }  // namespace
 }  // namespace dive::serve

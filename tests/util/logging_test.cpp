@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "util/thread_pool.h"
+
 namespace dive::util {
 namespace {
 
@@ -33,6 +37,69 @@ TEST(Logging, MacroEvaluatesArguments) {
   // The message body is evaluated exactly once regardless of level.
   EXPECT_EQ(count, 1);
   set_log_level(original);
+}
+
+TEST(Logging, ParseLogLevelNamesNumbersAndFallback) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("4"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level(nullptr), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("verbose", LogLevel::kError), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("7"), LogLevel::kWarn);  // out of range
+}
+
+TEST(Logging, EnvVariableSetsTheLevel) {
+  const LogLevel original = log_level();
+  ASSERT_EQ(setenv("DIVE_LOG_LEVEL", "error", 1), 0);
+  init_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+
+  ASSERT_EQ(setenv("DIVE_LOG_LEVEL", "nonsense", 1), 0);
+  init_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kWarn);  // fallback
+
+  ASSERT_EQ(unsetenv("DIVE_LOG_LEVEL"), 0);
+  init_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+
+  // An explicit set_log_level wins over whatever the env said.
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(original);
+}
+
+TEST(Logging, ConcurrentLinesDoNotInterleave) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  {
+    util::ThreadPool pool(4);
+    pool.parallel_for(0, 64, [](int i) {
+      DIVE_LOG_INFO << "line-" << i << "-a-" << i << "-b-" << i << "-end";
+    });
+  }
+  const std::string captured = testing::internal::GetCapturedStderr();
+  set_log_level(original);
+
+  // Every emitted line must be whole: prefix, all three fragments of one
+  // message, terminator. 64 lines, none interleaved.
+  std::size_t lines = 0, pos = 0;
+  while ((pos = captured.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 64u);
+  for (int i = 0; i < 64; ++i) {
+    const std::string want = "line-" + std::to_string(i) + "-a-" +
+                             std::to_string(i) + "-b-" + std::to_string(i) +
+                             "-end";
+    EXPECT_NE(captured.find(want), std::string::npos) << want;
+  }
 }
 
 }  // namespace

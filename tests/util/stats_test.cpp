@@ -120,5 +120,25 @@ TEST(SampleSet, MergeMatchesSequential) {
   EXPECT_EQ(a.count(), 6u);
 }
 
+TEST(SampleSet, SortSamplesEnablesConstQueries) {
+  SampleSet s;
+  for (double x : {4.0, 2.0, 8.0, 6.0}) s.add(x);
+  // The documented contract: quantile()/cdf_at()/median() on a const ref
+  // are only thread-safe after an explicit sort_samples() (the lazy sort
+  // mutates mutable state on first query). sort_samples() must leave the
+  // set queryable and idempotent.
+  s.sort_samples();
+  const SampleSet& view = s;
+  EXPECT_DOUBLE_EQ(view.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(view.quantile(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(view.median(), 5.0);
+  s.sort_samples();  // already sorted: no-op
+  EXPECT_DOUBLE_EQ(view.median(), 5.0);
+  // A later add invalidates sorted state; sort_samples restores it.
+  s.add(0.0);
+  s.sort_samples();
+  EXPECT_DOUBLE_EQ(view.quantile(0.0), 0.0);
+}
+
 }  // namespace
 }  // namespace dive::util
