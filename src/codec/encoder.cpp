@@ -164,6 +164,10 @@ Encoder::Encoder(EncoderConfig config)
     pool_ = std::make_unique<util::ThreadPool>(config_.threads);
 }
 
+Encoder::~Encoder() {
+  if (prefetch_) prefetch_->lane.wait();
+}
+
 void Encoder::set_obs(obs::ObsContext* obs) {
   obs_ = obs;
   obs_handles_ = {};
@@ -175,6 +179,9 @@ void Encoder::set_obs(obs::ObsContext* obs) {
   obs_handles_.trials_encoded = &m.counter("codec.rc.trials_encoded");
   obs_handles_.trials_reused = &m.counter("codec.rc.trials_reused");
   obs_handles_.full_passes = &m.counter("codec.rc.full_transform_passes");
+  obs_handles_.prefetch_launched = &m.counter("codec.prefetch.launched");
+  obs_handles_.prefetch_hits = &m.counter("codec.prefetch.hits");
+  obs_handles_.prefetch_misses = &m.counter("codec.prefetch.misses");
   obs_handles_.bytes_per_frame =
       &m.distribution("codec.bytes_per_frame", "bytes");
   obs_handles_.base_qp = &m.distribution("codec.base_qp", "qp");
@@ -182,11 +189,66 @@ void Encoder::set_obs(obs::ObsContext* obs) {
 }
 
 MotionField Encoder::analyze_motion(const video::Frame& src) const {
-  if (!has_reference_) return {};
+  if (!has_reference_) {
+    discard_prefetch();
+    return {};
+  }
   DIVE_OBS_SPAN(span, obs_, "codec.motion_search", obs::kTrackCodec);
   if (obs_handles_.motion_searches != nullptr)
     obs_handles_.motion_searches->add();
+  return motion_with_prefetch(src);
+}
+
+MotionField Encoder::motion_with_prefetch(const video::Frame& src) const {
+  if (prefetch_ && prefetch_->pending) {
+    prefetch_->lane.wait();  // rethrows a failed background search
+    prefetch_->pending = false;
+    if (prefetch_->src_y == src.y) {
+      ++prefetch_stats_.hits;
+      if (obs_handles_.prefetch_hits != nullptr)
+        obs_handles_.prefetch_hits->add();
+      return std::move(prefetch_->field);
+    }
+    // Hint didn't match the frame actually encoded: fall through to a
+    // fresh search. Same inputs would have produced the same field, so a
+    // miss only costs time, never bytes.
+    ++prefetch_stats_.misses;
+    if (obs_handles_.prefetch_misses != nullptr)
+      obs_handles_.prefetch_misses->add();
+  }
   return searcher_.search_frame(src.y, reference_.y, pool_.get());
+}
+
+void Encoder::discard_prefetch() const {
+  if (!prefetch_) return;
+  prefetch_->lane.wait();
+  if (prefetch_->pending) {
+    prefetch_->pending = false;
+    ++prefetch_stats_.misses;
+    if (obs_handles_.prefetch_misses != nullptr)
+      obs_handles_.prefetch_misses->add();
+  }
+}
+
+void Encoder::launch_prefetch(const video::Frame& next_src) {
+  if (!config_.pipeline_overlap) return;
+  if (next_src.width() != config_.width ||
+      next_src.height() != config_.height)
+    return;
+  if (!prefetch_) prefetch_ = std::make_unique<Prefetch>();
+  prefetch_->lane.wait();  // idle by contract; defensive drain
+  prefetch_->src_y = next_src.y;  // copy: hint needs no lifetime
+  prefetch_->pending = true;
+  ++prefetch_stats_.launched;
+  if (obs_handles_.prefetch_launched != nullptr)
+    obs_handles_.prefetch_launched->add();
+  // The lane thread acts as the pool's caller lane; reference_ is final
+  // for this frame and nothing else touches the pool until the next
+  // encode/analyze call drains the lane.
+  prefetch_->lane.run([this] {
+    prefetch_->field =
+        searcher_.search_frame(prefetch_->src_y, reference_.y, pool_.get());
+  });
 }
 
 FrameType Encoder::next_frame_type() const {
@@ -238,9 +300,8 @@ Encoder::InterPlan Encoder::build_inter_plan(const video::Frame& src,
   return plan;
 }
 
-Encoder::Trial Encoder::run_inter_trial(const InterPlan& plan, int base_qp,
-                                        const QpOffsetMap* offsets,
-                                        const MotionField& motion) const {
+Encoder::PreparedInter Encoder::prepare_inter_trial(
+    const InterPlan& plan, int base_qp, const QpOffsetMap* offsets) const {
   base_qp = std::clamp(base_qp, kMinQp, kMaxQp);
   DIVE_OBS_SPAN(span, obs_, "codec.inter_trial", obs::kTrackCodec);
   span.arg("qp", base_qp);
@@ -249,70 +310,88 @@ Encoder::Trial Encoder::run_inter_trial(const InterPlan& plan, int base_qp,
   const std::size_t mb_count =
       static_cast<std::size_t>(mb_cols) * static_cast<std::size_t>(mb_rows);
 
-  Trial trial;
-  trial.base_qp = base_qp;
-  trial.recon = video::Frame(config_.width, config_.height);
+  PreparedInter prep;
+  prep.base_qp = base_qp;
+  prep.recon = video::Frame(config_.width, config_.height);
 
-  // Pass 1 (parallel by row): quantize the precomputed residual
-  // coefficients at this trial's QP and reconstruct. Each row writes a
-  // disjoint slice of the scratch arrays and the reconstruction.
-  std::vector<QuantBlock> levels(mb_count * kBlocksPerMb);
-  std::vector<int> cbp(mb_count, 0);
-  std::vector<int> qps(mb_count, base_qp);
+  // Parallel by row: quantize the precomputed residual coefficients at
+  // this trial's QP and reconstruct. Each row writes a disjoint slice of
+  // the scratch arrays and the reconstruction.
+  prep.levels.resize(mb_count * kBlocksPerMb);
+  prep.cbp.assign(mb_count, 0);
+  prep.qps.assign(mb_count, base_qp);
 
   const auto quant_row = [&](int row) {
     for (int col = 0; col < mb_cols; ++col) {
       const std::size_t mb = static_cast<std::size_t>(row) * mb_cols + col;
       const std::size_t base = mb * kBlocksPerMb;
       const int qp = mb_qp(base_qp, offsets, col, row);
-      qps[mb] = qp;
+      prep.qps[mb] = qp;
       int mask = 0;
       const auto blocks = mb_blocks(col, row);
       for (int b = 0; b < kBlocksPerMb; ++b) {
         const std::size_t i = base + static_cast<std::size_t>(b);
-        quantize(plan.coeffs[i], qp, levels[i]);
-        if (!all_zero(levels[i])) mask |= 1 << b;
+        quantize(plan.coeffs[i], qp, prep.levels[i]);
+        if (!all_zero(prep.levels[i])) mask |= 1 << b;
         const auto& blk = blocks[static_cast<std::size_t>(b)];
         video::Plane& rp =
-            blk.chroma ? (b == 4 ? trial.recon.u : trial.recon.v)
-                       : trial.recon.y;
+            blk.chroma ? (b == 4 ? prep.recon.u : prep.recon.v)
+                       : prep.recon.y;
         reconstruct_block(rp, blk.bx, blk.by, plan.preds[i],
-                          (mask & (1 << b)) ? &levels[i] : nullptr, qp);
+                          (mask & (1 << b)) ? &prep.levels[i] : nullptr, qp);
       }
-      cbp[mb] = mask;
+      prep.cbp[mb] = mask;
     }
   };
   if (pool_) pool_->parallel_for(0, mb_rows, quant_row);
   else for (int row = 0; row < mb_rows; ++row) quant_row(row);
+  return prep;
+}
 
-  // Pass 2 (serial): raster-order bitstream emission. This is the only
+std::vector<std::uint8_t> Encoder::emit_inter_trial(
+    const PreparedInter& prep, const MotionField& motion) const {
+  // Serial raster-order bitstream emission. This is the only
   // order-dependent state (prev_qp chain, MV prediction), so running it
-  // serially keeps the bytes bit-identical for every thread count.
+  // serially keeps the bytes bit-identical for every thread count. It
+  // reads only prep.levels/cbp/qps — never the reconstruction — which is
+  // what lets the pipelined schedule hand prep.recon to reference_ (and
+  // start the next frame's motion search) before emission finishes.
+  const int mb_cols = config_.width / kMb;
+  const int mb_rows = config_.height / kMb;
   BitWriter bw;
-  write_frame_header(bw, FrameType::kInter, base_qp, mb_cols, mb_rows);
-  int prev_qp = base_qp;
+  write_frame_header(bw, FrameType::kInter, prep.base_qp, mb_cols, mb_rows);
+  int prev_qp = prep.base_qp;
   for (int row = 0; row < mb_rows; ++row) {
     for (int col = 0; col < mb_cols; ++col) {
       const std::size_t mb = static_cast<std::size_t>(row) * mb_cols + col;
       const std::size_t base = mb * kBlocksPerMb;
       const MotionVector mv = motion.at(col, row);
-      const bool skip = mv.is_zero() && cbp[mb] == 0;
+      const bool skip = mv.is_zero() && prep.cbp[mb] == 0;
       bw.put_bit(skip);
       if (skip) continue;
       const MotionVector pred_mv =
           col > 0 ? motion.at(col - 1, row) : MotionVector{};
       bw.put_se(mv.dx - pred_mv.dx);
       bw.put_se(mv.dy - pred_mv.dy);
-      bw.put_se(qps[mb] - prev_qp);
-      prev_qp = qps[mb];
-      bw.put_bits(static_cast<std::uint32_t>(cbp[mb]), 6);
+      bw.put_se(prep.qps[mb] - prev_qp);
+      prev_qp = prep.qps[mb];
+      bw.put_bits(static_cast<std::uint32_t>(prep.cbp[mb]), 6);
       for (int b = 0; b < kBlocksPerMb; ++b)
-        if (cbp[mb] & (1 << b))
-          write_block(bw, levels[base + static_cast<std::size_t>(b)]);
+        if (prep.cbp[mb] & (1 << b))
+          write_block(bw, prep.levels[base + static_cast<std::size_t>(b)]);
     }
   }
+  return bw.finish();
+}
 
-  trial.data = bw.finish();
+Encoder::Trial Encoder::run_inter_trial(const InterPlan& plan, int base_qp,
+                                        const QpOffsetMap* offsets,
+                                        const MotionField& motion) const {
+  PreparedInter prep = prepare_inter_trial(plan, base_qp, offsets);
+  Trial trial;
+  trial.base_qp = prep.base_qp;
+  trial.data = emit_inter_trial(prep, motion);
+  trial.recon = std::move(prep.recon);
   return trial;
 }
 
@@ -363,18 +442,19 @@ Encoder::Trial Encoder::run_intra_trial(const video::Frame& src, int base_qp,
   return trial;
 }
 
-EncodedFrame Encoder::commit(Trial trial, FrameType type,
-                             const MotionField* motion,
-                             const video::Frame& src) {
+EncodedFrame Encoder::finish_frame(std::vector<std::uint8_t> data,
+                                   int base_qp, FrameType type,
+                                   const MotionField* motion,
+                                   const video::Frame& src) {
+  // reference_ already holds this frame's reconstruction (the pipelined
+  // schedule hands it over before emission so the prefetch can start).
   EncodedFrame out;
-  out.data = std::move(trial.data);
+  out.data = std::move(data);
   out.type = type;
-  out.base_qp = trial.base_qp;
+  out.base_qp = base_qp;
   if (type == FrameType::kInter && motion != nullptr) out.motion = *motion;
-  out.psnr_y = video::psnr_y(src, trial.recon);
+  out.psnr_y = video::psnr_y(src, reference_);
 
-  reference_ = std::move(trial.recon);
-  has_reference_ = true;
   force_intra_ = false;
   ++frame_index_;
   last_qp_ = out.base_qp;
@@ -390,7 +470,8 @@ EncodedFrame Encoder::commit(Trial trial, FrameType type,
 
 EncodedFrame Encoder::encode(const video::Frame& src, int base_qp,
                              const QpOffsetMap* offsets,
-                             const MotionField* motion) {
+                             const MotionField* motion,
+                             const video::Frame* next_src) {
   if (src.width() != config_.width || src.height() != config_.height)
     throw std::invalid_argument("Encoder::encode: frame size mismatch");
   DIVE_OBS_SPAN(span, obs_, "codec.encode", obs::kTrackCodec);
@@ -398,21 +479,40 @@ EncodedFrame Encoder::encode(const video::Frame& src, int base_qp,
   const FrameType type = next_frame_type();
   MotionField local;
   if (type == FrameType::kInter && motion == nullptr) {
-    local = analyze_motion(src);
+    local = analyze_motion(src);  // drains/consumes any pending prefetch
     motion = &local;
+  } else {
+    // Externally supplied motion (or intra): any pending prefetch must be
+    // drained before the pool or reference_ are touched.
+    discard_prefetch();
   }
-  Trial trial =
-      type == FrameType::kInter
-          ? run_inter_trial(build_inter_plan(src, *motion), base_qp, offsets,
-                            *motion)
-          : run_intra_trial(src, base_qp, offsets);
-  return commit(std::move(trial), type, motion, src);
+
+  if (type == FrameType::kInter) {
+    const InterPlan plan = build_inter_plan(src, *motion);
+    PreparedInter prep = prepare_inter_trial(plan, base_qp, offsets);
+    // Early reference handoff: the reconstruction is final once the
+    // parallel pass is done, so publish it and start the next frame's
+    // motion search while this frame's bitstream is emitted serially.
+    reference_ = std::move(prep.recon);
+    has_reference_ = true;
+    if (next_src != nullptr) launch_prefetch(*next_src);
+    std::vector<std::uint8_t> data = emit_inter_trial(prep, *motion);
+    return finish_frame(std::move(data), prep.base_qp, type, motion, src);
+  }
+
+  Trial trial = run_intra_trial(src, base_qp, offsets);
+  reference_ = std::move(trial.recon);
+  has_reference_ = true;
+  if (next_src != nullptr) launch_prefetch(*next_src);
+  return finish_frame(std::move(trial.data), trial.base_qp, type, motion,
+                      src);
 }
 
 EncodedFrame Encoder::encode_to_target(const video::Frame& src,
                                        std::size_t target_bytes,
                                        const QpOffsetMap* offsets,
-                                       const MotionField* motion) {
+                                       const MotionField* motion,
+                                       const video::Frame* next_src) {
   if (src.width() != config_.width || src.height() != config_.height)
     throw std::invalid_argument("Encoder::encode_to_target: size mismatch");
   DIVE_OBS_SPAN(span, obs_, "codec.encode_to_target", obs::kTrackCodec);
@@ -420,8 +520,10 @@ EncodedFrame Encoder::encode_to_target(const video::Frame& src,
   const FrameType type = next_frame_type();
   MotionField local;
   if (type == FrameType::kInter && motion == nullptr) {
-    local = analyze_motion(src);
+    local = analyze_motion(src);  // drains/consumes any pending prefetch
     motion = &local;
+  } else {
+    discard_prefetch();
   }
 
   rc_stats_ = {};
@@ -496,7 +598,15 @@ EncodedFrame Encoder::encode_to_target(const video::Frame& src,
     obs_handles_.full_passes->add(rc_stats_.full_transform_passes);
   }
   Trial chosen = std::move(memo.at(chosen_qp));
-  return commit(std::move(chosen), type, motion, src);
+  // The winner is already fully emitted; publish its reconstruction and
+  // start the next frame's motion search before PSNR/bookkeeping, so the
+  // prefetch also overlaps whatever the caller does until the next
+  // analyze/encode call (transmit simulation, detector inference, ...).
+  reference_ = std::move(chosen.recon);
+  has_reference_ = true;
+  if (next_src != nullptr) launch_prefetch(*next_src);
+  return finish_frame(std::move(chosen.data), chosen.base_qp, type, motion,
+                      src);
 }
 
 }  // namespace dive::codec

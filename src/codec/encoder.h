@@ -17,6 +17,16 @@
 // residual — is computed once per frame; each QP trial only re-quantizes,
 // entropy-codes, and reconstructs. Trials are additionally memoized by QP
 // for the duration of the frame, so no QP is ever encoded twice.
+//
+// Frame pipelining: when the caller hands encode()/encode_to_target() a
+// `next_src` hint, the motion search of frame N+1 starts on the worker
+// pool (driven from a background util::AsyncLane) as soon as frame N's
+// reconstruction is final — for fixed-QP encodes that is before the
+// serial bitstream emission of frame N begins, so the two overlap. The
+// prefetched field is consumed by the next analyze_motion/encode call;
+// because motion search is a pure function of (source luma, reference
+// luma) and the reference is the identical reconstruction either way,
+// prefetching never changes a single output bit (see DESIGN.md §11).
 #pragma once
 
 #include <cstdint>
@@ -25,7 +35,9 @@
 
 #include "codec/dct.h"
 #include "codec/motion_search.h"
+#include "codec/quant.h"
 #include "codec/types.h"
+#include "util/async_lane.h"
 #include "util/thread_pool.h"
 #include "video/frame.h"
 
@@ -52,6 +64,12 @@ struct EncoderConfig {
   /// frame and memoize rate-control trials by QP. Purely a caching
   /// layer: the encoded bytes are identical with it on or off.
   bool reuse_trials = true;
+  /// Honor `next_src` hints: overlap the next frame's motion search with
+  /// the current frame's serial bitstream emission (fixed-QP path) or
+  /// with commit/PSNR and caller-side work (rate-controlled path).
+  /// Purely a scheduling change: output is identical with it on or off,
+  /// with hints present or absent, for every thread count.
+  bool pipeline_overlap = true;
 };
 
 /// Accounting of the most recent encode_to_target call.
@@ -79,6 +97,10 @@ struct EncodedFrame {
 class Encoder {
  public:
   explicit Encoder(EncoderConfig config);
+  ~Encoder();  ///< drains any in-flight motion prefetch
+
+  Encoder(const Encoder&) = delete;
+  Encoder& operator=(const Encoder&) = delete;
 
   [[nodiscard]] const EncoderConfig& config() const { return config_; }
   [[nodiscard]] int frame_index() const { return frame_index_; }
@@ -88,22 +110,34 @@ class Encoder {
   /// Motion analysis of `src` against the current reference without
   /// encoding (used by DiVE preprocessing, which needs MVs before the QP
   /// map exists). Empty field when no reference frame is available yet.
+  /// Consumes a pending motion prefetch when its source matches `src`
+  /// byte-for-byte (the result is identical either way — a mismatched
+  /// hint only costs a fresh search).
   [[nodiscard]] MotionField analyze_motion(const video::Frame& src) const;
 
   /// Encodes at a fixed base QP (CRF-style). `offsets`, when given, adds a
   /// per-macroblock delta. `motion` reuses a precomputed field (must come
-  /// from analyze_motion on the same source). Advances codec state.
+  /// from analyze_motion on the same source). `next_src`, when given and
+  /// pipeline_overlap is on, starts the next frame's motion search on the
+  /// pool while this frame's bitstream is emitted serially (the luma is
+  /// copied, so the hint needs no lifetime beyond this call). Advances
+  /// codec state.
   EncodedFrame encode(const video::Frame& src, int base_qp,
                       const QpOffsetMap* offsets = nullptr,
-                      const MotionField* motion = nullptr);
+                      const MotionField* motion = nullptr,
+                      const video::Frame* next_src = nullptr);
 
   /// Encodes the frame to fit `target_bytes`: searches base QP over a few
   /// trials (single motion-estimation pass), commits the best-fitting
   /// trial. The result may exceed the target if even QP 51 cannot fit.
+  /// `next_src` behaves as in encode(); here the prefetch launches once
+  /// the winning trial is chosen, overlapping commit/PSNR and whatever
+  /// the caller does before the next frame.
   EncodedFrame encode_to_target(const video::Frame& src,
                                 std::size_t target_bytes,
                                 const QpOffsetMap* offsets = nullptr,
-                                const MotionField* motion = nullptr);
+                                const MotionField* motion = nullptr,
+                                const video::Frame* next_src = nullptr);
 
   /// Force the next encoded frame to be intra.
   void request_intra() { force_intra_ = true; }
@@ -120,6 +154,16 @@ class Encoder {
   /// Trial accounting of the latest encode_to_target call.
   [[nodiscard]] const RateControlStats& rate_control_stats() const {
     return rc_stats_;
+  }
+
+  /// Lifetime accounting of the motion-prefetch pipeline.
+  struct PrefetchStats {
+    long launched = 0;  ///< prefetches started from next_src hints
+    long hits = 0;      ///< consumed by a matching analyze/encode
+    long misses = 0;    ///< discarded (source mismatch or unused)
+  };
+  [[nodiscard]] const PrefetchStats& prefetch_stats() const {
+    return prefetch_stats_;
   }
 
   /// Resolved worker-lane count (after DIVE_THREADS / hardware defaults).
@@ -142,16 +186,64 @@ class Encoder {
     std::vector<Block8x8> coeffs;  ///< mb_count * 6, block-major
   };
 
+  /// Output of the parallel half of an inter trial (quantize +
+  /// reconstruct); the serial emission pass reads it without touching
+  /// the reconstruction, which is what makes the early reference
+  /// handoff of the pipelined schedule safe.
+  struct PreparedInter {
+    std::vector<QuantBlock> levels;  ///< mb_count * 6, block-major
+    std::vector<int> cbp;            ///< coded-block pattern per mb
+    std::vector<int> qps;            ///< resolved QP per mb
+    video::Frame recon;
+    int base_qp = 0;
+  };
+
+  /// In-flight next-frame motion search (see DESIGN.md §11). The lane
+  /// owns the background thread; `src_y` is a copy of the hinted luma so
+  /// the hint has no lifetime requirements. Mutable because consuming a
+  /// prefetch from the logically-const analyze_motion() is a pure cache
+  /// hit. Declared after pool_/reference_ so it is destroyed (and its
+  /// task drained) first.
+  struct Prefetch {
+    util::AsyncLane lane;
+    bool pending = false;
+    video::Plane src_y;
+    MotionField field;
+  };
+
   [[nodiscard]] FrameType next_frame_type() const;
   [[nodiscard]] InterPlan build_inter_plan(const video::Frame& src,
                                            const MotionField& motion) const;
+  [[nodiscard]] PreparedInter prepare_inter_trial(const InterPlan& plan,
+                                                  int base_qp,
+                                                  const QpOffsetMap* offsets)
+      const;
+  [[nodiscard]] std::vector<std::uint8_t> emit_inter_trial(
+      const PreparedInter& prep, const MotionField& motion) const;
   [[nodiscard]] Trial run_inter_trial(const InterPlan& plan, int base_qp,
                                       const QpOffsetMap* offsets,
                                       const MotionField& motion) const;
   [[nodiscard]] Trial run_intra_trial(const video::Frame& src, int base_qp,
                                       const QpOffsetMap* offsets) const;
-  EncodedFrame commit(Trial trial, FrameType type, const MotionField* motion,
-                      const video::Frame& src);
+
+  /// Motion for `src`: a matching pending prefetch (hit), else a fresh
+  /// pool search. Always drains the lane first.
+  [[nodiscard]] MotionField motion_with_prefetch(const video::Frame& src)
+      const;
+  /// Drains and drops any pending prefetch (intra frames, mismatched
+  /// flow). Must be called before mutating reference_ or using the pool
+  /// while a prefetch could still be running.
+  void discard_prefetch() const;
+  /// Starts the next frame's motion search against reference_ on the
+  /// async lane (which drives the worker pool). Requires the lane idle
+  /// and reference_ final for this frame.
+  void launch_prefetch(const video::Frame& next_src);
+
+  /// Finalizes the frame: PSNR against reference_ (which must already
+  /// hold this frame's reconstruction), codec-state bookkeeping, obs.
+  EncodedFrame finish_frame(std::vector<std::uint8_t> data, int base_qp,
+                            FrameType type, const MotionField* motion,
+                            const video::Frame& src);
 
   /// Cached metric handles (see set_obs); all null when unobserved.
   struct ObsHandles {
@@ -161,6 +253,9 @@ class Encoder {
     obs::Counter* trials_encoded = nullptr;
     obs::Counter* trials_reused = nullptr;
     obs::Counter* full_passes = nullptr;
+    obs::Counter* prefetch_launched = nullptr;
+    obs::Counter* prefetch_hits = nullptr;
+    obs::Counter* prefetch_misses = nullptr;
     obs::Distribution* bytes_per_frame = nullptr;
     obs::Distribution* base_qp = nullptr;
     obs::Distribution* psnr_y = nullptr;
@@ -177,6 +272,11 @@ class Encoder {
   int frame_index_ = 0;
   int last_qp_ = 30;
   RateControlStats rc_stats_;
+  mutable PrefetchStats prefetch_stats_;
+  /// Lazily created on the first next_src hint; must stay the LAST
+  /// member so its destructor drains the background task before the
+  /// pool and reference it reads are torn down.
+  mutable std::unique_ptr<Prefetch> prefetch_;
 };
 
 }  // namespace dive::codec

@@ -21,29 +21,25 @@ bool ref_inside(const video::Plane& ref, int x0, int y0, int margin = 0) {
          y0 + kMb + margin <= ref.height;
 }
 
-/// SAD against a full-pel displaced reference block.
+/// SAD against a full-pel displaced reference block. The interior case
+/// runs the dispatched `fast` kernel; the border case clamps per sample
+/// and stays scalar (kernels assume in-plane reads).
 std::uint32_t sad_fullpel(const video::Plane& cur, const video::Plane& ref,
-                          int cx, int cy, int dx, int dy) {
+                          int cx, int cy, int dx, int dy, Sad16Fn fast) {
   const int rx = cx - dx;
   const int ry = cy - dy;
   std::uint32_t acc = 0;
   if (ref_inside(ref, rx, ry)) {
-    for (int y = 0; y < kMb; ++y) {
-      const std::uint8_t* c =
-          &cur.data[static_cast<std::size_t>(cy + y) * cur.width + cx];
-      const std::uint8_t* r =
-          &ref.data[static_cast<std::size_t>(ry + y) * ref.width + rx];
-      for (int x = 0; x < kMb; ++x)
-        acc += static_cast<std::uint32_t>(
-            std::abs(static_cast<int>(c[x]) - r[x]));
-    }
-  } else {
-    for (int y = 0; y < kMb; ++y)
-      for (int x = 0; x < kMb; ++x)
-        acc += static_cast<std::uint32_t>(
-            std::abs(static_cast<int>(cur.at(cx + x, cy + y)) -
-                     static_cast<int>(ref.at_clamped(rx + x, ry + y))));
+    return fast(&cur.data[static_cast<std::size_t>(cy) * cur.width + cx],
+                cur.width,
+                &ref.data[static_cast<std::size_t>(ry) * ref.width + rx],
+                ref.width);
   }
+  for (int y = 0; y < kMb; ++y)
+    for (int x = 0; x < kMb; ++x)
+      acc += static_cast<std::uint32_t>(
+          std::abs(static_cast<int>(cur.at(cx + x, cy + y)) -
+                   static_cast<int>(ref.at_clamped(rx + x, ry + y))));
   return acc;
 }
 
@@ -66,9 +62,10 @@ int half_pel_sample(const video::Plane& ref, int hx, int hy) {
 
 
 std::uint32_t sad_16x16(const video::Plane& cur, const video::Plane& ref,
-                        int cx, int cy, MotionVector mv) {
+                        int cx, int cy, MotionVector mv, Sad16Fn fast) {
+  if (fast == nullptr) fast = sad_16x16_fn();
   if ((mv.dx & 1) == 0 && (mv.dy & 1) == 0)
-    return sad_fullpel(cur, ref, cx, cy, mv.dx >> 1, mv.dy >> 1);
+    return sad_fullpel(cur, ref, cx, cy, mv.dx >> 1, mv.dy >> 1, fast);
   std::uint32_t acc = 0;
   for (int y = 0; y < kMb; ++y)
     for (int x = 0; x < kMb; ++x) {
@@ -147,8 +144,8 @@ struct Candidate {
 /// counted for the half-pel codes actually emitted into the stream.
 std::uint32_t pattern_cost(const video::Plane& cur, const video::Plane& ref,
                            int cx, int cy, int dx, int dy, MotionVector pred,
-                           double lambda) {
-  const std::uint32_t dist = sad_fullpel(cur, ref, cx, cy, dx, dy);
+                           double lambda, Sad16Fn fast) {
+  const std::uint32_t dist = sad_fullpel(cur, ref, cx, cy, dx, dy, fast);
   const int bits = BitWriter::se_bits(2 * dx - pred.dx) +
                    BitWriter::se_bits(2 * dy - pred.dy);
   return dist + static_cast<std::uint32_t>(lambda * bits);
@@ -156,10 +153,10 @@ std::uint32_t pattern_cost(const video::Plane& cur, const video::Plane& ref,
 
 void consider(Candidate& best, const video::Plane& cur,
               const video::Plane& ref, int cx, int cy, int dx, int dy,
-              MotionVector pred, double lambda, int range) {
+              MotionVector pred, double lambda, int range, Sad16Fn fast) {
   if (std::abs(dx) > range || std::abs(dy) > range) return;
   const std::uint32_t cost =
-      pattern_cost(cur, ref, cx, cy, dx, dy, pred, lambda);
+      pattern_cost(cur, ref, cx, cy, dx, dy, pred, lambda, fast);
   if (cost < best.cost) {
     best.cost = cost;
     best.dx = dx;
@@ -170,13 +167,14 @@ void consider(Candidate& best, const video::Plane& cur,
 template <std::size_t N>
 void refine(Candidate& best, const std::array<std::pair<int, int>, N>& pattern,
             const video::Plane& cur, const video::Plane& ref, int cx, int cy,
-            MotionVector pred, double lambda, int range, int max_iters) {
+            MotionVector pred, double lambda, int range, int max_iters,
+            Sad16Fn fast) {
   for (int iter = 0; iter < max_iters; ++iter) {
     const int cdx = best.dx;
     const int cdy = best.dy;
     for (const auto& [dx, dy] : pattern) {
       consider(best, cur, ref, cx, cy, cdx + dx, cdy + dy, pred, lambda,
-               range);
+               range, fast);
     }
     if (best.dx == cdx && best.dy == cdy) break;
   }
@@ -198,6 +196,7 @@ MotionVector MotionSearcher::search_block(const video::Plane& cur,
                                           std::uint32_t& best_sad) const {
   const int range = config_.range;
   const double lambda = config_.lambda;
+  const Sad16Fn fast = sad_fn_;
   const bool exhaustive = config_.method == MotionSearchMethod::kEsa ||
                           config_.method == MotionSearchMethod::kTesa;
 
@@ -211,7 +210,7 @@ MotionVector MotionSearcher::search_block(const video::Plane& cur,
       for (int dx = -range; dx <= range; ++dx) {
         const std::uint32_t cost =
             satd ? satd_16x16(cur, ref, cx, cy, MotionVector::from_fullpel(dx, dy))
-                 : sad_fullpel(cur, ref, cx, cy, dx, dy);
+                 : sad_fullpel(cur, ref, cx, cy, dx, dy, fast);
         if (cost < best.cost) {
           best.cost = cost;
           best.dx = dx;
@@ -223,26 +222,29 @@ MotionVector MotionSearcher::search_block(const video::Plane& cur,
     // Pattern searches start from the predictor and the zero vector.
     const int pfx = pred.dx / 2;
     const int pfy = pred.dy / 2;
-    consider(best, cur, ref, cx, cy, 0, 0, pred, lambda, range);
-    consider(best, cur, ref, cx, cy, pfx, pfy, pred, lambda, range);
+    consider(best, cur, ref, cx, cy, 0, 0, pred, lambda, range, fast);
+    consider(best, cur, ref, cx, cy, pfx, pfy, pred, lambda, range, fast);
 
     switch (config_.method) {
       case MotionSearchMethod::kDia:
         refine(best, kDiamond, cur, ref, cx, cy, pred, lambda, range,
-               2 * range);
+               2 * range, fast);
         break;
       case MotionSearchMethod::kHex:
-        refine(best, kHexagon, cur, ref, cx, cy, pred, lambda, range, range);
-        refine(best, kDiamond, cur, ref, cx, cy, pred, lambda, range, 2);
+        refine(best, kHexagon, cur, ref, cx, cy, pred, lambda, range, range,
+               fast);
+        refine(best, kDiamond, cur, ref, cx, cy, pred, lambda, range, 2,
+               fast);
         break;
       case MotionSearchMethod::kUmh: {
         // 1) Cross search at progressively coarser stride.
         for (int d = 2; d <= range; d += 2) {
-          consider(best, cur, ref, cx, cy, d, 0, pred, lambda, range);
-          consider(best, cur, ref, cx, cy, -d, 0, pred, lambda, range);
+          consider(best, cur, ref, cx, cy, d, 0, pred, lambda, range, fast);
+          consider(best, cur, ref, cx, cy, -d, 0, pred, lambda, range, fast);
           if (d <= range / 2) {
-            consider(best, cur, ref, cx, cy, 0, d, pred, lambda, range);
-            consider(best, cur, ref, cx, cy, 0, -d, pred, lambda, range);
+            consider(best, cur, ref, cx, cy, 0, d, pred, lambda, range, fast);
+            consider(best, cur, ref, cx, cy, 0, -d, pred, lambda, range,
+                     fast);
           }
         }
         // 2) 5x5 full search around the current best.
@@ -251,18 +253,20 @@ MotionVector MotionSearcher::search_block(const video::Plane& cur,
         for (int dy = -2; dy <= 2; ++dy)
           for (int dx = -2; dx <= 2; ++dx)
             consider(best, cur, ref, cx, cy, c5x + dx, c5y + dy, pred, lambda,
-                     range);
+                     range, fast);
         // 3) Uneven multi-hexagon rings.
         const int rcx = best.dx;
         const int rcy = best.dy;
         for (int scale = 1; scale * 4 <= range; scale *= 2) {
           for (const auto& [dx, dy] : kHexadecagon)
             consider(best, cur, ref, cx, cy, rcx + dx * scale,
-                     rcy + dy * scale, pred, lambda, range);
+                     rcy + dy * scale, pred, lambda, range, fast);
         }
         // 4) Hexagon + diamond refinement.
-        refine(best, kHexagon, cur, ref, cx, cy, pred, lambda, range, range);
-        refine(best, kDiamond, cur, ref, cx, cy, pred, lambda, range, 2);
+        refine(best, kHexagon, cur, ref, cx, cy, pred, lambda, range, range,
+               fast);
+        refine(best, kDiamond, cur, ref, cx, cy, pred, lambda, range, 2,
+               fast);
         break;
       }
       case MotionSearchMethod::kEsa:
@@ -274,7 +278,7 @@ MotionVector MotionSearcher::search_block(const video::Plane& cur,
   // Half-pel refinement around the full-pel winner (all methods; x264's
   // subpel stage). Pure SAD objective.
   MotionVector hp = MotionVector::from_fullpel(best.dx, best.dy);
-  std::uint32_t hp_sad = sad_16x16(cur, ref, cx, cy, hp);
+  std::uint32_t hp_sad = sad_16x16(cur, ref, cx, cy, hp, fast);
   for (int iter = 0; iter < 2; ++iter) {
     const MotionVector center = hp;
     for (int dy = -1; dy <= 1; ++dy) {
@@ -283,7 +287,7 @@ MotionVector MotionSearcher::search_block(const video::Plane& cur,
         const MotionVector cand{center.dx + dx, center.dy + dy};
         if (std::abs(cand.dx) > 2 * range || std::abs(cand.dy) > 2 * range)
           continue;
-        const std::uint32_t s = sad_16x16(cur, ref, cx, cy, cand);
+        const std::uint32_t s = sad_16x16(cur, ref, cx, cy, cand, fast);
         if (s < hp_sad) {
           hp_sad = s;
           hp = cand;
@@ -298,7 +302,7 @@ MotionVector MotionSearcher::search_block(const video::Plane& cur,
   // This keeps sensor noise in plain regions from fabricating motion,
   // which matters for the eta-based ego-motion judgement (Fig. 6).
   if (!exhaustive && !hp.is_zero()) {
-    const std::uint32_t zero_sad = sad_fullpel(cur, ref, cx, cy, 0, 0);
+    const std::uint32_t zero_sad = sad_fullpel(cur, ref, cx, cy, 0, 0, fast);
     if (zero_sad <= hp_sad + std::max<std::uint32_t>(48, zero_sad / 16)) {
       hp = {0, 0};
       hp_sad = zero_sad;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "codec/sad_kernels.h"
 #include "codec/types.h"
 #include "video/frame.h"
 
@@ -28,6 +29,11 @@ struct MotionSearchConfig {
   /// the window; vectors at the limit are saturated and unreliable.
   int range = 24;
   double lambda = 6.0;   ///< rate-cost weight for pattern searches
+  /// SAD kernel policy for the interior 16x16 fast path. kAuto follows
+  /// the process-wide dispatch (SIMD when available, see sad_kernels.h);
+  /// kScalar pins the canonical scalar kernel. Every kernel returns the
+  /// same sums, so the searched field is identical either way.
+  SadKernelPolicy sad = SadKernelPolicy::kAuto;
 };
 
 /// Reference sample at half-pel coordinates (hx, hy) = pixel position
@@ -38,9 +44,12 @@ int half_pel_sample(const video::Plane& ref, int hx, int hy);
 
 /// Sum of absolute differences between the 16x16 block of `cur` at
 /// (cx, cy) and the block of `ref` displaced by `mv` (half-pel units);
-/// reads outside `ref` clamp to the border.
+/// reads outside `ref` clamp to the border. Even-component (full-pel)
+/// interior displacements take the dispatched `fast` kernel (null = the
+/// process-wide auto dispatch); half-pel and border reads stay scalar.
 std::uint32_t sad_16x16(const video::Plane& cur, const video::Plane& ref,
-                        int cx, int cy, MotionVector mv);
+                        int cx, int cy, MotionVector mv,
+                        Sad16Fn fast = nullptr);
 
 /// Sum of absolute Hadamard-transformed differences (TESA metric).
 std::uint32_t satd_16x16(const video::Plane& cur, const video::Plane& ref,
@@ -48,9 +57,13 @@ std::uint32_t satd_16x16(const video::Plane& cur, const video::Plane& ref,
 
 class MotionSearcher {
  public:
-  explicit MotionSearcher(MotionSearchConfig config = {}) : config_(config) {}
+  explicit MotionSearcher(MotionSearchConfig config = {})
+      : config_(config), sad_fn_(resolve_sad_fn(config.sad)) {}
 
   [[nodiscard]] const MotionSearchConfig& config() const { return config_; }
+
+  /// The SAD kernel this searcher resolved from its policy.
+  [[nodiscard]] Sad16Fn sad_fn() const { return sad_fn_; }
 
   /// Estimates the motion field of `cur` against reference `ref`
   /// (both luma planes; dimensions must match and be multiples of 16).
@@ -67,6 +80,7 @@ class MotionSearcher {
                             std::uint32_t& best_cost) const;
 
   MotionSearchConfig config_;
+  Sad16Fn sad_fn_;  ///< resolved once from config_.sad
 };
 
 }  // namespace dive::codec

@@ -1,0 +1,53 @@
+// Runtime-dispatched SAD kernels for the 16x16 motion-search hot loop.
+//
+// The scalar kernel is the canonical reference: every SIMD variant must
+// return the exact same sum for the same inputs (SAD is integer, so this
+// is achievable and enforced by the `differential` test label). Dispatch
+// order: the DIVE_DISABLE_SIMD compile gate wins, then the
+// DIVE_FORCE_SCALAR environment variable (any value other than "0"),
+// then CPU detection (AVX2 > SSE2 on x86, NEON on AArch64). The choice
+// is resolved once per process on first use.
+//
+// Kernels operate on raw row pointers with independent strides so they
+// serve both full planes (stride == width, including odd widths) and any
+// future tiled layout. Blocks must lie fully inside their planes; the
+// clamped border path stays in motion_search.cpp and is scalar by
+// construction.
+#pragma once
+
+#include <cstdint>
+
+namespace dive::codec {
+
+/// Which concrete kernel backs sad_16x16_fn() in this process.
+enum class SadKernel : std::uint8_t { kScalar, kSse2, kAvx2, kNeon };
+
+const char* to_string(SadKernel k);
+
+/// Per-searcher kernel policy (MotionSearchConfig::sad). kAuto uses the
+/// process-wide dispatched kernel; kScalar pins the reference kernel so
+/// scalar/SIMD cells can be compared inside one process.
+enum class SadKernelPolicy : std::uint8_t { kAuto = 0, kScalar = 1 };
+
+/// 16x16 sum of absolute differences between the block at `cur` (rows
+/// `cur_stride` apart) and the block at `ref` (rows `ref_stride` apart).
+using Sad16Fn = std::uint32_t (*)(const std::uint8_t* cur, int cur_stride,
+                                  const std::uint8_t* ref, int ref_stride);
+
+/// Canonical scalar kernel (the reference all SIMD paths must match).
+std::uint32_t sad_16x16_scalar(const std::uint8_t* cur, int cur_stride,
+                               const std::uint8_t* ref, int ref_stride);
+
+/// The kernel dispatch resolved for this process (see file comment).
+SadKernel active_sad_kernel();
+
+/// Function pointer matching active_sad_kernel().
+Sad16Fn sad_16x16_fn();
+
+/// Resolves a policy to a concrete kernel function.
+inline Sad16Fn resolve_sad_fn(SadKernelPolicy policy) {
+  return policy == SadKernelPolicy::kScalar ? &sad_16x16_scalar
+                                            : sad_16x16_fn();
+}
+
+}  // namespace dive::codec

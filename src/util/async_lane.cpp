@@ -1,0 +1,69 @@
+#include "util/async_lane.h"
+
+#include <utility>
+
+namespace dive::util {
+
+AsyncLane::AsyncLane() : worker_([this] { worker_loop(); }) {}
+
+AsyncLane::~AsyncLane() {
+  {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return !busy_; });
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void AsyncLane::run(std::function<void()> task) {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return !busy_; });
+  error_ = nullptr;
+  task_ = std::move(task);
+  busy_ = true;
+  lock.unlock();
+  cv_.notify_all();
+}
+
+void AsyncLane::wait() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return !busy_; });
+  if (error_ != nullptr) {
+    std::exception_ptr e = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+bool AsyncLane::idle() const {
+  std::lock_guard lock(mutex_);
+  return !busy_;
+}
+
+void AsyncLane::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || task_; });
+      if (stop_) return;
+      task = std::move(task_);
+      task_ = nullptr;
+    }
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      error_ = error;
+      busy_ = false;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace dive::util

@@ -1,0 +1,53 @@
+// One persistent background lane executing a single task at a time.
+//
+// The encoder's pipelined frame schedule needs exactly this shape: hand
+// the motion search of frame N+1 to another thread, emit frame N's
+// bitstream on the caller, then join before the next frame touches any
+// shared state. A full task queue would invite overlap bugs; a single
+// occupied/idle slot makes the handoff protocol checkable: run() requires
+// (and waits for) an idle lane, wait() returns only when the slot is
+// empty again, and the worker persists across frames so steady-state use
+// never spawns threads.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace dive::util {
+
+class AsyncLane {
+ public:
+  AsyncLane();
+  ~AsyncLane();  ///< waits for the in-flight task, then joins the worker
+
+  AsyncLane(const AsyncLane&) = delete;
+  AsyncLane& operator=(const AsyncLane&) = delete;
+
+  /// Schedules `task` on the lane. If a previous task is still running,
+  /// blocks until it finished (its exception, if any, is swallowed into
+  /// the slot and rethrown by the next wait()).
+  void run(std::function<void()> task);
+
+  /// Blocks until the lane is idle. Rethrows the exception of the task
+  /// that just drained, if it threw.
+  void wait();
+
+  /// True when no task is running or queued.
+  [[nodiscard]] bool idle() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::function<void()> task_;   ///< non-empty while a task is queued
+  bool busy_ = false;            ///< a task is queued or executing
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::thread worker_;
+};
+
+}  // namespace dive::util

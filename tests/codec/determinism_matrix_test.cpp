@@ -1,0 +1,218 @@
+// Determinism matrix for the encode pipeline: the encoded bytes (and
+// PSNR) of a seeded sequence must be identical across every cell of
+//   {1, 2, 8 threads} x {scalar, auto SAD kernel} x {overlap on, off},
+// where "overlap" is the frame-pipelined schedule that prefetches the
+// next frame's motion search while the current bitstream is emitted
+// (encoder.h). This is the lockdown for both tentpole changes: SIMD may
+// only change speed, and pipelining may only change scheduling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "codec/decoder.h"
+#include "codec/encoder.h"
+#include "codec/sad_kernels.h"
+#include "util/rng.h"
+
+namespace dive::codec {
+namespace {
+
+video::Frame matrix_frame(int w, int h, std::uint64_t seed, int shift = 0) {
+  video::Frame f(w, h);
+  util::Rng rng(seed);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const int xs = x - shift;
+      double v = 60 + 0.3 * xs + 0.2 * y;
+      if ((xs / 20 + y / 14) % 2 == 0) v += 55;
+      v += rng.uniform(-3, 3);
+      f.y.at(x, y) = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+  for (int y = 0; y < h / 2; ++y)
+    for (int x = 0; x < w / 2; ++x) {
+      f.u.at(x, y) =
+          static_cast<std::uint8_t>(120 + ((x - shift / 2) / 10) % 20);
+      f.v.at(x, y) = static_cast<std::uint8_t>(130 + (y / 8) % 12);
+    }
+  return f;
+}
+
+std::vector<video::Frame> matrix_sequence(int w, int h, int n) {
+  std::vector<video::Frame> seq;
+  seq.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    seq.push_back(matrix_frame(w, h, 900 + static_cast<std::uint64_t>(i),
+                               i * 3));
+  return seq;
+}
+
+struct Cell {
+  int threads;
+  SadKernelPolicy sad;
+  bool overlap;
+  bool hint;  ///< feed next_src lookahead hints
+};
+
+std::string cell_name(const Cell& c) {
+  return "threads=" + std::to_string(c.threads) +
+         (c.sad == SadKernelPolicy::kScalar ? " sad=scalar" : " sad=auto") +
+         (c.overlap ? " overlap=on" : " overlap=off") +
+         (c.hint ? " hint=on" : " hint=off");
+}
+
+EncoderConfig cell_config(const Cell& c, int w, int h) {
+  EncoderConfig cfg;
+  cfg.width = w;
+  cfg.height = h;
+  cfg.threads = c.threads;
+  cfg.search.sad = c.sad;
+  cfg.pipeline_overlap = c.overlap;
+  return cfg;
+}
+
+std::vector<EncodedFrame> encode_fixed_qp(const Cell& c,
+                                          const std::vector<video::Frame>& seq,
+                                          int qp) {
+  Encoder enc(cell_config(c, seq[0].width(), seq[0].height()));
+  std::vector<EncodedFrame> out;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const video::Frame* next =
+        (c.hint && i + 1 < seq.size()) ? &seq[i + 1] : nullptr;
+    out.push_back(enc.encode(seq[i], qp, nullptr, nullptr, next));
+  }
+  return out;
+}
+
+std::vector<EncodedFrame> encode_targeted(const Cell& c,
+                                          const std::vector<video::Frame>& seq,
+                                          std::size_t target) {
+  Encoder enc(cell_config(c, seq[0].width(), seq[0].height()));
+  std::vector<EncodedFrame> out;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const video::Frame* next =
+        (c.hint && i + 1 < seq.size()) ? &seq[i + 1] : nullptr;
+    out.push_back(enc.encode_to_target(seq[i], target, nullptr, nullptr,
+                                       next));
+  }
+  return out;
+}
+
+std::vector<Cell> matrix_cells() {
+  std::vector<Cell> cells;
+  for (int threads : {1, 2, 8})
+    for (SadKernelPolicy sad :
+         {SadKernelPolicy::kScalar, SadKernelPolicy::kAuto})
+      for (bool overlap : {false, true})
+        cells.push_back({threads, sad, overlap, /*hint=*/overlap});
+  // One extra cell: overlap enabled in config but no hints delivered
+  // (the common caller that never learns the next frame).
+  cells.push_back({8, SadKernelPolicy::kAuto, true, false});
+  return cells;
+}
+
+TEST(DeterminismMatrix, FixedQpBytesAndPsnrIdentical) {
+  const auto seq = matrix_sequence(128, 64, 5);
+  const Cell base{1, SadKernelPolicy::kScalar, false, false};
+  const auto baseline = encode_fixed_qp(base, seq, 26);
+  for (const Cell& c : matrix_cells()) {
+    const auto run = encode_fixed_qp(c, seq, 26);
+    ASSERT_EQ(run.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      ASSERT_EQ(run[i].data, baseline[i].data)
+          << cell_name(c) << " frame=" << i;
+      ASSERT_EQ(run[i].base_qp, baseline[i].base_qp) << cell_name(c);
+      ASSERT_DOUBLE_EQ(run[i].psnr_y, baseline[i].psnr_y) << cell_name(c);
+    }
+  }
+}
+
+TEST(DeterminismMatrix, RateControlledBytesAndPsnrIdentical) {
+  const auto seq = matrix_sequence(128, 64, 5);
+  const Cell base{1, SadKernelPolicy::kScalar, false, false};
+  const auto baseline = encode_targeted(base, seq, 900);
+  for (const Cell& c : matrix_cells()) {
+    const auto run = encode_targeted(c, seq, 900);
+    ASSERT_EQ(run.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      ASSERT_EQ(run[i].data, baseline[i].data)
+          << cell_name(c) << " frame=" << i;
+      ASSERT_EQ(run[i].base_qp, baseline[i].base_qp) << cell_name(c);
+      ASSERT_DOUBLE_EQ(run[i].psnr_y, baseline[i].psnr_y) << cell_name(c);
+    }
+  }
+}
+
+TEST(DeterminismMatrix, PrefetchHitsWhenHintsAreAccurate) {
+  const auto seq = matrix_sequence(128, 64, 5);
+  Encoder enc({.width = 128, .height = 64, .threads = 2});
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const video::Frame* next = i + 1 < seq.size() ? &seq[i + 1] : nullptr;
+    (void)enc.encode(seq[i], 26, nullptr, nullptr, next);
+  }
+  const auto& stats = enc.prefetch_stats();
+  // Frames 0..n-2 carry hints; every hinted search is consumed by the
+  // next frame (frame 0 is intra and launches after its reconstruction).
+  EXPECT_EQ(stats.launched, static_cast<long>(seq.size()) - 1);
+  EXPECT_EQ(stats.hits, static_cast<long>(seq.size()) - 1);
+  EXPECT_EQ(stats.misses, 0);
+}
+
+TEST(DeterminismMatrix, MismatchedHintFallsBackIdentically) {
+  const auto seq = matrix_sequence(128, 64, 4);
+  const Cell base{2, SadKernelPolicy::kAuto, false, false};
+  const auto baseline = encode_fixed_qp(base, seq, 26);
+
+  // Deliberately hint the WRONG frame: the prefetch must be detected as
+  // stale (byte compare of the hinted luma) and discarded, with a fresh
+  // search producing exactly the baseline bytes.
+  Encoder enc({.width = 128, .height = 64, .threads = 2});
+  std::vector<EncodedFrame> out;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const video::Frame* wrong =
+        i + 1 < seq.size() ? &seq[(i + 2) % seq.size()] : nullptr;
+    out.push_back(enc.encode(seq[i], 26, nullptr, nullptr, wrong));
+  }
+  ASSERT_EQ(out.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i)
+    ASSERT_EQ(out[i].data, baseline[i].data) << "frame " << i;
+  EXPECT_GT(enc.prefetch_stats().misses, 0);
+  EXPECT_EQ(enc.prefetch_stats().hits, 0);
+}
+
+TEST(DeterminismMatrix, AnalyzeMotionConsumesPrefetch) {
+  // The agent flow: analyze_motion(next) between encodes must consume the
+  // prefetch (hit) and hand back the identical field.
+  const auto seq = matrix_sequence(128, 64, 3);
+  Encoder plain({.width = 128, .height = 64, .threads = 2});
+  Encoder hinted({.width = 128, .height = 64, .threads = 2});
+  (void)plain.encode(seq[0], 26);
+  (void)hinted.encode(seq[0], 26, nullptr, nullptr, &seq[1]);
+  const MotionField a = plain.analyze_motion(seq[1]);
+  const MotionField b = hinted.analyze_motion(seq[1]);
+  EXPECT_EQ(a.mvs, b.mvs);
+  EXPECT_EQ(a.sad, b.sad);
+  EXPECT_EQ(hinted.prefetch_stats().hits, 1);
+  // And the fields feed back into identical encodes.
+  const auto ea = plain.encode(seq[1], 26, nullptr, &a);
+  const auto eb = hinted.encode(seq[1], 26, nullptr, &b);
+  EXPECT_EQ(ea.data, eb.data);
+}
+
+TEST(DeterminismMatrix, DecoderAgreesUnderOverlap) {
+  // The decoder's reconstruction must still track the encoder's reference
+  // when frames are encoded with hints (early reference handoff).
+  const auto seq = matrix_sequence(128, 64, 4);
+  Encoder enc({.width = 128, .height = 64, .threads = 2});
+  Decoder dec;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const video::Frame* next = i + 1 < seq.size() ? &seq[i + 1] : nullptr;
+    const auto encoded = enc.encode(seq[i], 24, nullptr, nullptr, next);
+    const auto decoded = dec.decode(encoded.data);
+    ASSERT_EQ(decoded.frame, enc.reference()) << "frame " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dive::codec

@@ -1,0 +1,71 @@
+// util::AsyncLane: the single-slot background executor behind the
+// encoder's frame-pipelined motion prefetch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/async_lane.h"
+
+namespace dive::util {
+namespace {
+
+TEST(AsyncLane, RunsTaskOnBackgroundThread) {
+  AsyncLane lane;
+  std::atomic<bool> ran{false};
+  const auto caller = std::this_thread::get_id();
+  std::thread::id worker;
+  lane.run([&] {
+    worker = std::this_thread::get_id();
+    ran = true;
+  });
+  lane.wait();
+  EXPECT_TRUE(ran.load());
+  EXPECT_NE(worker, caller);
+  EXPECT_TRUE(lane.idle());
+}
+
+TEST(AsyncLane, TasksRunInSubmissionOrder) {
+  AsyncLane lane;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i)
+    lane.run([&order, i] { order.push_back(i); });  // run() blocks if busy
+  lane.wait();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(AsyncLane, WaitRethrowsTaskException) {
+  AsyncLane lane;
+  lane.run([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(lane.wait(), std::runtime_error);
+  // The error is consumed: the lane is reusable afterwards.
+  std::atomic<bool> ran{false};
+  lane.run([&] { ran = true; });
+  lane.wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(AsyncLane, WaitWithoutTaskIsNoOp) {
+  AsyncLane lane;
+  lane.wait();
+  EXPECT_TRUE(lane.idle());
+}
+
+TEST(AsyncLane, DestructorDrainsPendingTask) {
+  std::atomic<bool> ran{false};
+  {
+    AsyncLane lane;
+    lane.run([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      ran = true;
+    });
+  }  // destructor must complete the task, not abandon it
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace dive::util
