@@ -18,7 +18,7 @@ int main() {
   const codec::MotionSearchMethod methods[] = {
       codec::MotionSearchMethod::kDia, codec::MotionSearchMethod::kHex,
       codec::MotionSearchMethod::kUmh, codec::MotionSearchMethod::kTesa,
-      codec::MotionSearchMethod::kEsa};
+      codec::MotionSearchMethod::kEsa, codec::MotionSearchMethod::kHme};
 
   const data::DatasetSpec specs[] = {
       bench::scaled(data::robotcar_like(), 1, 24),

@@ -100,13 +100,16 @@ DecodedFrame Decoder::decode(std::span<const std::uint8_t> data) {
       const int cy = py / 2;
 
       if (type == FrameType::kInter) {
+        // SKIP bit: the macroblock moves with the PREDICTED motion vector
+        // (left neighbor, zero at the row start) and carries no residual
+        // — copy the reference at that displacement.
         const bool skip = br.get_bit();
-        MotionVector mv{};
+        const MotionVector pred_mv =
+            col > 0 ? out.motion.at(col - 1, row) : MotionVector{};
+        MotionVector mv = pred_mv;
         int qp = prev_qp;
         int cbp = 0;
         if (!skip) {
-          const MotionVector pred_mv =
-              col > 0 ? out.motion.at(col - 1, row) : MotionVector{};
           mv.dx = pred_mv.dx + br.get_se();
           mv.dy = pred_mv.dy + br.get_se();
           qp = prev_qp + br.get_se();

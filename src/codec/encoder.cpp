@@ -149,6 +149,7 @@ const char* to_string(MotionSearchMethod m) {
     case MotionSearchMethod::kUmh: return "umh";
     case MotionSearchMethod::kTesa: return "tesa";
     case MotionSearchMethod::kEsa: return "esa";
+    case MotionSearchMethod::kHme: return "hme";
   }
   return "?";
 }
@@ -182,6 +183,8 @@ void Encoder::set_obs(obs::ObsContext* obs) {
   obs_handles_.prefetch_launched = &m.counter("codec.prefetch.launched");
   obs_handles_.prefetch_hits = &m.counter("codec.prefetch.hits");
   obs_handles_.prefetch_misses = &m.counter("codec.prefetch.misses");
+  obs_handles_.skip_skipped_mbs = &m.counter("codec.skip.skipped_mbs");
+  obs_handles_.skip_inter_mbs = &m.counter("codec.skip.inter_mbs");
   obs_handles_.bytes_per_frame =
       &m.distribution("codec.bytes_per_frame", "bytes");
   obs_handles_.base_qp = &m.distribution("codec.base_qp", "qp");
@@ -270,12 +273,38 @@ Encoder::InterPlan Encoder::build_inter_plan(const video::Frame& src,
   InterPlan plan;
   plan.preds.resize(mb_count * kBlocksPerMb);
   plan.coeffs.resize(mb_count * kBlocksPerMb);
+  plan.skip.assign(mb_count, 0);
+  plan.eff_motion = motion;
 
+  // SKIP decisions and predictions/residual DCTs, row-parallel. The SKIP
+  // chain is serial WITHIN a row (the predicted MV is the previous
+  // macroblock's coded MV, and the predictor chain resets per row —
+  // mirroring bitstream emission), so rows stay independent and the
+  // decisions are bit-identical for every thread count. A skipped
+  // macroblock is predicted at the predicted MV and never pays the
+  // residual DCT; its coefficients stay zero (value-initialized).
+  const bool skip_on = config_.skip_blocks;
+  const auto skip_budget =
+      static_cast<std::uint32_t>(std::max(0, config_.skip_threshold));
+  const Sad16Fn sad_fn = searcher_.sad_fn();
   const auto plan_row = [&](int row) {
+    MotionVector pred{};  // coded-MV predictor chain, reset per row
     for (int col = 0; col < mb_cols; ++col) {
-      const std::size_t base =
-          (static_cast<std::size_t>(row) * mb_cols + col) * kBlocksPerMb;
-      const MotionVector mv = motion.at(col, row);
+      const std::size_t mb = static_cast<std::size_t>(row) * mb_cols + col;
+      const std::size_t base = mb * kBlocksPerMb;
+      MotionVector mv = motion.at(col, row);
+      bool skip = false;
+      if (skip_on) {
+        const std::uint32_t pred_sad = sad_16x16(
+            src.y, reference_.y, col * kMb, row * kMb, pred, sad_fn);
+        skip = pred_sad < skip_budget;
+      }
+      if (skip) {
+        plan.skip[mb] = 1;
+        mv = pred;
+      }
+      plan.eff_motion.at(col, row) = mv;
+      pred = mv;
       // Chroma planes are half resolution: halve the half-pel units.
       const int cdx = mv.dx / 2;
       const int cdy = mv.dy / 2;
@@ -289,9 +318,11 @@ Encoder::InterPlan Encoder::build_inter_plan(const video::Frame& src,
         plan.preds[base + static_cast<std::size_t>(b)] =
             mc_predict(rp, blk.bx, blk.by, blk.chroma ? cdx : mv.dx,
                        blk.chroma ? cdy : mv.dy);
-        residual_dct(sp, blk.bx, blk.by,
-                     plan.preds[base + static_cast<std::size_t>(b)],
-                     plan.coeffs[base + static_cast<std::size_t>(b)]);
+        if (!skip) {
+          residual_dct(sp, blk.bx, blk.by,
+                       plan.preds[base + static_cast<std::size_t>(b)],
+                       plan.coeffs[base + static_cast<std::size_t>(b)]);
+        }
       }
     }
   };
@@ -327,16 +358,21 @@ Encoder::PreparedInter Encoder::prepare_inter_trial(
       const std::size_t base = mb * kBlocksPerMb;
       const int qp = mb_qp(base_qp, offsets, col, row);
       prep.qps[mb] = qp;
+      const bool skip = plan.skip[mb] != 0;
       int mask = 0;
       const auto blocks = mb_blocks(col, row);
       for (int b = 0; b < kBlocksPerMb; ++b) {
         const std::size_t i = base + static_cast<std::size_t>(b);
-        quantize(plan.coeffs[i], qp, prep.levels[i]);
-        if (!all_zero(prep.levels[i])) mask |= 1 << b;
+        if (!skip) {
+          quantize(plan.coeffs[i], qp, prep.levels[i]);
+          if (!all_zero(prep.levels[i])) mask |= 1 << b;
+        }
         const auto& blk = blocks[static_cast<std::size_t>(b)];
         video::Plane& rp =
             blk.chroma ? (b == 4 ? prep.recon.u : prep.recon.v)
                        : prep.recon.y;
+        // SKIP macroblocks reconstruct as the bare prediction — exactly
+        // the reference copy the decoder performs on a skip bit.
         reconstruct_block(rp, blk.bx, blk.by, plan.preds[i],
                           (mask & (1 << b)) ? &prep.levels[i] : nullptr, qp);
       }
@@ -349,13 +385,20 @@ Encoder::PreparedInter Encoder::prepare_inter_trial(
 }
 
 std::vector<std::uint8_t> Encoder::emit_inter_trial(
-    const PreparedInter& prep, const MotionField& motion) const {
+    const PreparedInter& prep, const InterPlan& plan) const {
   // Serial raster-order bitstream emission. This is the only
   // order-dependent state (prev_qp chain, MV prediction), so running it
   // serially keeps the bytes bit-identical for every thread count. It
-  // reads only prep.levels/cbp/qps — never the reconstruction — which is
-  // what lets the pipelined schedule hand prep.recon to reference_ (and
-  // start the next frame's motion search) before emission finishes.
+  // reads only prep.levels/cbp/qps and the plan's coded field — never
+  // the reconstruction — which is what lets the pipelined schedule hand
+  // prep.recon to reference_ (and start the next frame's motion search)
+  // before emission finishes.
+  //
+  // SKIP bit semantics: "this macroblock's MV equals the predicted MV
+  // and it carries no residual" — the decoder copies the reference at
+  // the predicted MV. Threshold-forced skips satisfy the condition by
+  // construction (build_inter_plan coded them at the predicted MV), so
+  // forced and natural skips share one emission rule.
   const int mb_cols = config_.width / kMb;
   const int mb_rows = config_.height / kMb;
   BitWriter bw;
@@ -365,12 +408,12 @@ std::vector<std::uint8_t> Encoder::emit_inter_trial(
     for (int col = 0; col < mb_cols; ++col) {
       const std::size_t mb = static_cast<std::size_t>(row) * mb_cols + col;
       const std::size_t base = mb * kBlocksPerMb;
-      const MotionVector mv = motion.at(col, row);
-      const bool skip = mv.is_zero() && prep.cbp[mb] == 0;
+      const MotionVector mv = plan.eff_motion.at(col, row);
+      const MotionVector pred_mv =
+          col > 0 ? plan.eff_motion.at(col - 1, row) : MotionVector{};
+      const bool skip = mv == pred_mv && prep.cbp[mb] == 0;
       bw.put_bit(skip);
       if (skip) continue;
-      const MotionVector pred_mv =
-          col > 0 ? motion.at(col - 1, row) : MotionVector{};
       bw.put_se(mv.dx - pred_mv.dx);
       bw.put_se(mv.dy - pred_mv.dy);
       bw.put_se(prep.qps[mb] - prev_qp);
@@ -384,13 +427,33 @@ std::vector<std::uint8_t> Encoder::emit_inter_trial(
   return bw.finish();
 }
 
+/// Skipped-macroblock count of one emitted trial: forced skips plus the
+/// natural ones (coded MV equal to its predictor, zero coded-block
+/// pattern — the same predicate emit_inter_trial writes a skip bit for).
+int Encoder::count_skips(const PreparedInter& prep,
+                         const InterPlan& plan) const {
+  const int mb_cols = config_.width / kMb;
+  const int mb_rows = config_.height / kMb;
+  int skipped = 0;
+  for (int row = 0; row < mb_rows; ++row) {
+    for (int col = 0; col < mb_cols; ++col) {
+      const std::size_t mb = static_cast<std::size_t>(row) * mb_cols + col;
+      const MotionVector mv = plan.eff_motion.at(col, row);
+      const MotionVector pred_mv =
+          col > 0 ? plan.eff_motion.at(col - 1, row) : MotionVector{};
+      if (mv == pred_mv && prep.cbp[mb] == 0) ++skipped;
+    }
+  }
+  return skipped;
+}
+
 Encoder::Trial Encoder::run_inter_trial(const InterPlan& plan, int base_qp,
-                                        const QpOffsetMap* offsets,
-                                        const MotionField& motion) const {
+                                        const QpOffsetMap* offsets) const {
   PreparedInter prep = prepare_inter_trial(plan, base_qp, offsets);
   Trial trial;
   trial.base_qp = prep.base_qp;
-  trial.data = emit_inter_trial(prep, motion);
+  trial.data = emit_inter_trial(prep, plan);
+  trial.skipped_mbs = count_skips(prep, plan);
   trial.recon = std::move(prep.recon);
   return trial;
 }
@@ -445,7 +508,7 @@ Encoder::Trial Encoder::run_intra_trial(const video::Frame& src, int base_qp,
 EncodedFrame Encoder::finish_frame(std::vector<std::uint8_t> data,
                                    int base_qp, FrameType type,
                                    const MotionField* motion,
-                                   const video::Frame& src) {
+                                   const video::Frame& src, int skipped_mbs) {
   // reference_ already holds this frame's reconstruction (the pipelined
   // schedule hands it over before emission so the prefetch can start).
   EncodedFrame out;
@@ -454,10 +517,22 @@ EncodedFrame Encoder::finish_frame(std::vector<std::uint8_t> data,
   out.base_qp = base_qp;
   if (type == FrameType::kInter && motion != nullptr) out.motion = *motion;
   out.psnr_y = video::psnr_y(src, reference_);
+  out.skipped_mbs = type == FrameType::kInter ? skipped_mbs : 0;
 
   force_intra_ = false;
   ++frame_index_;
   last_qp_ = out.base_qp;
+
+  if (type == FrameType::kInter) {
+    const long mb_count = static_cast<long>(config_.width / kMb) *
+                          static_cast<long>(config_.height / kMb);
+    skip_stats_.skipped_mbs += out.skipped_mbs;
+    skip_stats_.inter_mbs += mb_count;
+    if (obs_handles_.skip_skipped_mbs != nullptr) {
+      obs_handles_.skip_skipped_mbs->add(out.skipped_mbs);
+      obs_handles_.skip_inter_mbs->add(mb_count);
+    }
+  }
 
   if (obs_handles_.frames != nullptr) {
     obs_handles_.frames->add();
@@ -496,8 +571,10 @@ EncodedFrame Encoder::encode(const video::Frame& src, int base_qp,
     reference_ = std::move(prep.recon);
     has_reference_ = true;
     if (next_src != nullptr) launch_prefetch(*next_src);
-    std::vector<std::uint8_t> data = emit_inter_trial(prep, *motion);
-    return finish_frame(std::move(data), prep.base_qp, type, motion, src);
+    std::vector<std::uint8_t> data = emit_inter_trial(prep, plan);
+    const int skipped = count_skips(prep, plan);
+    return finish_frame(std::move(data), prep.base_qp, type,
+                        &plan.eff_motion, src, skipped);
   }
 
   Trial trial = run_intra_trial(src, base_qp, offsets);
@@ -539,6 +616,7 @@ EncodedFrame Encoder::encode_to_target(const video::Frame& src,
   // final pick is always a move, never a re-encode); it serves as a
   // cache for revisited QPs only when reuse is on.
   std::map<int, Trial> memo;
+  MotionField coded_motion;  // eff_motion when reuse is off (QP-independent)
   const auto eval = [&](int qp) -> Trial& {
     ++rc_stats_.trials_attempted;
     if (config_.reuse_trials) {
@@ -551,13 +629,16 @@ EncodedFrame Encoder::encode_to_target(const video::Frame& src,
     Trial t;
     if (type == FrameType::kInter) {
       if (shared_plan) {
-        t = run_inter_trial(*shared_plan, qp, offsets, *motion);
+        t = run_inter_trial(*shared_plan, qp, offsets);
       } else {
         // Reuse disabled: every trial pays the full motion-compensation
-        // + DCT pass, matching the historical cost model.
+        // + DCT pass, matching the historical cost model. The coded
+        // field is QP-independent, so every trial's plan carries the
+        // same eff_motion; stash the first for finish_frame.
         ++rc_stats_.full_transform_passes;
-        t = run_inter_trial(build_inter_plan(src, *motion), qp, offsets,
-                            *motion);
+        InterPlan plan = build_inter_plan(src, *motion);
+        if (coded_motion.empty()) coded_motion = plan.eff_motion;
+        t = run_inter_trial(plan, qp, offsets);
       }
     } else {
       // Intra prediction depends on the QP-dependent reconstruction, so
@@ -605,8 +686,12 @@ EncodedFrame Encoder::encode_to_target(const video::Frame& src,
   reference_ = std::move(chosen.recon);
   has_reference_ = true;
   if (next_src != nullptr) launch_prefetch(*next_src);
-  return finish_frame(std::move(chosen.data), chosen.base_qp, type, motion,
-                      src);
+  const MotionField* coded =
+      type != FrameType::kInter ? nullptr
+      : shared_plan             ? &shared_plan->eff_motion
+                                : &coded_motion;
+  return finish_frame(std::move(chosen.data), chosen.base_qp, type, coded,
+                      src, chosen.skipped_mbs);
 }
 
 }  // namespace dive::codec

@@ -70,6 +70,17 @@ struct EncoderConfig {
   /// Purely a scheduling change: output is identical with it on or off,
   /// with hints present or absent, for every thread count.
   bool pipeline_overlap = true;
+  /// Per-macroblock SKIP mode: when the luma SAD at the PREDICTED motion
+  /// vector (the left-neighbor chain the bitstream codes against) is
+  /// below skip_threshold, the macroblock is coded as a one-bit SKIP —
+  /// the decoder copies the reference at the predicted MV and no
+  /// residual is transformed, quantized, or emitted. Changes the
+  /// bitstream (that is the point); deterministic for every thread
+  /// count / kernel / overlap setting.
+  bool skip_blocks = true;
+  /// Luma SAD budget (16x16, so 512 = 2 per pixel) under which a
+  /// macroblock is forced to SKIP. Only meaningful with skip_blocks.
+  int skip_threshold = 512;
 };
 
 /// Accounting of the most recent encode_to_target call.
@@ -87,9 +98,14 @@ struct EncodedFrame {
   std::vector<std::uint8_t> data;
   FrameType type = FrameType::kIntra;
   int base_qp = 0;
-  /// Motion field the encoder used (empty for intra frames).
+  /// Motion field the encoder CODED (empty for intra frames): SKIP
+  /// macroblocks carry their predicted MV, matching what the decoder
+  /// reconstructs. The searched field is available via analyze_motion.
   MotionField motion;
   double psnr_y = 0.0;  ///< reconstruction quality vs. the source
+  /// Macroblocks coded as SKIP (inter frames; threshold-forced and
+  /// natural skips both count).
+  int skipped_mbs = 0;
 
   [[nodiscard]] std::size_t bytes() const { return data.size(); }
 };
@@ -166,6 +182,13 @@ class Encoder {
     return prefetch_stats_;
   }
 
+  /// Lifetime accounting of SKIP coding across committed inter frames.
+  struct SkipStats {
+    long skipped_mbs = 0;  ///< macroblocks coded as SKIP
+    long inter_mbs = 0;    ///< all inter macroblocks committed
+  };
+  [[nodiscard]] const SkipStats& skip_stats() const { return skip_stats_; }
+
   /// Resolved worker-lane count (after DIVE_THREADS / hardware defaults).
   [[nodiscard]] int thread_count() const {
     return pool_ ? pool_->thread_count() : 1;
@@ -176,14 +199,21 @@ class Encoder {
     std::vector<std::uint8_t> data;
     video::Frame recon;
     int base_qp = 0;
+    int skipped_mbs = 0;
   };
 
-  /// QP-independent per-frame state of an inter frame: for every 8x8
-  /// block (6 per macroblock: 4 luma + U + V) the motion-compensated
-  /// prediction and the forward DCT of the prediction residual.
+  /// QP-independent per-frame state of an inter frame: the SKIP decision
+  /// and effective (coded) motion field, and for every 8x8 block (6 per
+  /// macroblock: 4 luma + U + V) the motion-compensated prediction and
+  /// the forward DCT of the prediction residual. SKIP macroblocks carry
+  /// predictions at the predicted MV and never pay the residual DCT.
   struct InterPlan {
     std::vector<Block8x8> preds;   ///< mb_count * 6, block-major
     std::vector<Block8x8> coeffs;  ///< mb_count * 6, block-major
+    std::vector<std::uint8_t> skip;  ///< per-mb SKIP decision
+    /// Coded field: SKIP entries replaced by their predicted MV (the
+    /// exact field the decoder will reconstruct).
+    MotionField eff_motion;
   };
 
   /// Output of the parallel half of an inter trial (quantize +
@@ -219,10 +249,11 @@ class Encoder {
                                                   const QpOffsetMap* offsets)
       const;
   [[nodiscard]] std::vector<std::uint8_t> emit_inter_trial(
-      const PreparedInter& prep, const MotionField& motion) const;
+      const PreparedInter& prep, const InterPlan& plan) const;
+  [[nodiscard]] int count_skips(const PreparedInter& prep,
+                                const InterPlan& plan) const;
   [[nodiscard]] Trial run_inter_trial(const InterPlan& plan, int base_qp,
-                                      const QpOffsetMap* offsets,
-                                      const MotionField& motion) const;
+                                      const QpOffsetMap* offsets) const;
   [[nodiscard]] Trial run_intra_trial(const video::Frame& src, int base_qp,
                                       const QpOffsetMap* offsets) const;
 
@@ -241,9 +272,10 @@ class Encoder {
 
   /// Finalizes the frame: PSNR against reference_ (which must already
   /// hold this frame's reconstruction), codec-state bookkeeping, obs.
+  /// `motion` is the CODED field (InterPlan::eff_motion for inter).
   EncodedFrame finish_frame(std::vector<std::uint8_t> data, int base_qp,
                             FrameType type, const MotionField* motion,
-                            const video::Frame& src);
+                            const video::Frame& src, int skipped_mbs = 0);
 
   /// Cached metric handles (see set_obs); all null when unobserved.
   struct ObsHandles {
@@ -256,6 +288,8 @@ class Encoder {
     obs::Counter* prefetch_launched = nullptr;
     obs::Counter* prefetch_hits = nullptr;
     obs::Counter* prefetch_misses = nullptr;
+    obs::Counter* skip_skipped_mbs = nullptr;
+    obs::Counter* skip_inter_mbs = nullptr;
     obs::Distribution* bytes_per_frame = nullptr;
     obs::Distribution* base_qp = nullptr;
     obs::Distribution* psnr_y = nullptr;
@@ -272,6 +306,7 @@ class Encoder {
   int frame_index_ = 0;
   int last_qp_ = 30;
   RateControlStats rc_stats_;
+  SkipStats skip_stats_;
   mutable PrefetchStats prefetch_stats_;
   /// Lazily created on the first next_src hint; must stay the LAST
   /// member so its destructor drains the background task before the

@@ -77,6 +77,28 @@ std::uint32_t sad_16x16(const video::Plane& cur, const video::Plane& ref,
   return acc;
 }
 
+LumaPyramid build_pyramid(const video::Plane& base, int levels) {
+  LumaPyramid pyr;
+  pyr.levels.reserve(static_cast<std::size_t>(std::max(0, levels)));
+  const video::Plane* src = &base;
+  for (int l = 0; l < levels; ++l) {
+    video::Plane down(std::max(1, src->width / 2), std::max(1, src->height / 2));
+    for (int y = 0; y < down.height; ++y) {
+      for (int x = 0; x < down.width; ++x) {
+        const int sx = 2 * x;
+        const int sy = 2 * y;
+        const int sum = src->at(sx, sy) + src->at_clamped(sx + 1, sy) +
+                        src->at_clamped(sx, sy + 1) +
+                        src->at_clamped(sx + 1, sy + 1);
+        down.at(x, y) = static_cast<std::uint8_t>((sum + 2) >> 2);
+      }
+    }
+    pyr.levels.push_back(std::move(down));
+    src = &pyr.levels.back();
+  }
+  return pyr;
+}
+
 namespace {
 
 /// 8x8 Hadamard transform of integer residuals, sum of |coefficients|.
@@ -180,6 +202,51 @@ void refine(Candidate& best, const std::array<std::pair<int, int>, N>& pattern,
   }
 }
 
+/// SAD of the n x n block of `cur` at (cx, cy) against `ref` displaced by
+/// full-pel (dx, dy) at the same pyramid level; ref reads clamp to the
+/// border. Used only on the small downsampled planes, so it stays scalar.
+std::uint32_t sad_nxn(const video::Plane& cur, const video::Plane& ref,
+                      int cx, int cy, int dx, int dy, int n) {
+  std::uint32_t acc = 0;
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x)
+      acc += static_cast<std::uint32_t>(
+          std::abs(static_cast<int>(cur.at(cx + x, cy + y)) -
+                   static_cast<int>(ref.at_clamped(cx + x - dx, cy + y - dy))));
+  return acc;
+}
+
+/// Ranked candidate list for the pyramid descent. Insertion keeps the
+/// list sorted by cost with first-seen winning ties, so the selection is
+/// a pure function of evaluation order (which is fixed raster order).
+struct CandidateList {
+  std::array<Candidate, 8> slots;
+  int count = 0;
+  int capacity = 0;
+
+  explicit CandidateList(int cap)
+      : capacity(std::min<int>(cap, static_cast<int>(slots.size()))) {}
+
+  void offer(int dx, int dy, std::uint32_t cost) {
+    // Already tracked? Keep the first (equal cost by construction).
+    for (int i = 0; i < count; ++i)
+      if (slots[static_cast<std::size_t>(i)].dx == dx &&
+          slots[static_cast<std::size_t>(i)].dy == dy)
+        return;
+    int pos = count;
+    while (pos > 0 &&
+           slots[static_cast<std::size_t>(pos - 1)].cost > cost)
+      --pos;
+    if (pos >= capacity) return;
+    const int last = std::min(count, capacity - 1);
+    for (int i = last; i > pos; --i)
+      slots[static_cast<std::size_t>(i)] =
+          slots[static_cast<std::size_t>(i - 1)];
+    slots[static_cast<std::size_t>(pos)] = {dx, dy, cost};
+    count = std::min(count + 1, capacity);
+  }
+};
+
 constexpr std::array<std::pair<int, int>, 4> kDiamond{
     {{1, 0}, {-1, 0}, {0, 1}, {0, -1}}};
 constexpr std::array<std::pair<int, int>, 6> kHexagon{
@@ -193,7 +260,8 @@ constexpr std::array<std::pair<int, int>, 16> kHexadecagon{
 MotionVector MotionSearcher::search_block(const video::Plane& cur,
                                           const video::Plane& ref, int cx,
                                           int cy, MotionVector pred,
-                                          std::uint32_t& best_sad) const {
+                                          std::uint32_t& best_sad,
+                                          const PyramidPair* pyr) const {
   const int range = config_.range;
   const double lambda = config_.lambda;
   const Sad16Fn fast = sad_fn_;
@@ -269,6 +337,60 @@ MotionVector MotionSearcher::search_block(const video::Plane& cur,
                fast);
         break;
       }
+      case MotionSearchMethod::kHme: {
+        // Coarse-to-fine pyramid descent. A cheap full search at the
+        // coarsest level covers the whole range; the top candidates are
+        // re-ranked one level at a time (3x3 around each doubled
+        // position) and finally evaluated with the rate-aware cost at
+        // full resolution, feeding the shared refinement below.
+        const int levels = pyr ? static_cast<int>(pyr->cur.levels.size()) : 0;
+        if (levels > 0) {
+          const int top = levels - 1;
+          const int top_shift = top + 1;  // downsample factor 1 << shift
+          const int n_top = kMb >> top_shift;
+          const int top_range = std::max(1, range >> top_shift);
+          CandidateList cands(std::max(1, config_.hme_candidates));
+          const video::Plane& tc = pyr->cur.levels[static_cast<std::size_t>(top)];
+          const video::Plane& tr = pyr->ref.levels[static_cast<std::size_t>(top)];
+          const int tx = cx >> top_shift;
+          const int ty = cy >> top_shift;
+          for (int dy = -top_range; dy <= top_range; ++dy)
+            for (int dx = -top_range; dx <= top_range; ++dx)
+              cands.offer(dx, dy, sad_nxn(tc, tr, tx, ty, dx, dy, n_top));
+          for (int lvl = top - 1; lvl >= 0; --lvl) {
+            const int shift = lvl + 1;
+            const int n = kMb >> shift;
+            const int lrange = std::max(1, range >> shift);
+            const video::Plane& lc =
+                pyr->cur.levels[static_cast<std::size_t>(lvl)];
+            const video::Plane& lr =
+                pyr->ref.levels[static_cast<std::size_t>(lvl)];
+            const int lx = cx >> shift;
+            const int ly = cy >> shift;
+            CandidateList next(cands.capacity);
+            for (int i = 0; i < cands.count; ++i) {
+              const Candidate c = cands.slots[static_cast<std::size_t>(i)];
+              for (int dy = -1; dy <= 1; ++dy)
+                for (int dx = -1; dx <= 1; ++dx) {
+                  const int ndx = std::clamp(2 * c.dx + dx, -lrange, lrange);
+                  const int ndy = std::clamp(2 * c.dy + dy, -lrange, lrange);
+                  next.offer(ndx, ndy, sad_nxn(lc, lr, lx, ly, ndx, ndy, n));
+                }
+            }
+            cands = next;
+          }
+          for (int i = 0; i < cands.count; ++i) {
+            const Candidate c = cands.slots[static_cast<std::size_t>(i)];
+            for (int dy = -1; dy <= 1; ++dy)
+              for (int dx = -1; dx <= 1; ++dx)
+                consider(best, cur, ref, cx, cy, 2 * c.dx + dx,
+                         2 * c.dy + dy, pred, lambda, range, fast);
+          }
+        }
+        refine(best, kDiamond, cur, ref, cx, cy, pred, lambda, range, 2,
+               fast);
+        break;
+      }
       case MotionSearchMethod::kEsa:
       case MotionSearchMethod::kTesa:
         break;  // handled above
@@ -318,12 +440,24 @@ MotionField MotionSearcher::search_frame(const video::Plane& cur,
   const int cols = cur.width / kMb;
   const int rows = cur.height / kMb;
   MotionField field(cols, rows);
+  // The pyramid is a pure function of the two planes, built once per
+  // frame (serially, before the row fan-out) and shared read-only by
+  // every row, so the parallel field stays bit-identical to the serial
+  // one. Levels are clamped so the coarsest block is at least 4x4.
+  PyramidPair pyr_storage;
+  const PyramidPair* pyr = nullptr;
+  if (config_.method == MotionSearchMethod::kHme) {
+    const int levels = std::clamp(config_.hme_levels, 1, 2);
+    pyr_storage.cur = build_pyramid(cur, levels);
+    pyr_storage.ref = build_pyramid(ref, levels);
+    pyr = &pyr_storage;
+  }
   const auto search_row = [&](int row) {
     MotionVector pred{};  // left-neighbor predictor, reset per row
     for (int col = 0; col < cols; ++col) {
       std::uint32_t sad = 0;
       const MotionVector mv =
-          search_block(cur, ref, col * kMb, row * kMb, pred, sad);
+          search_block(cur, ref, col * kMb, row * kMb, pred, sad, pyr);
       field.at(col, row) = mv;
       field.sad[static_cast<std::size_t>(row) * cols + col] = sad;
       pred = mv;

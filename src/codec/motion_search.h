@@ -8,9 +8,19 @@
 // need not be the true motion — exactly the noise source the paper
 // observes ("motion estimation methods are designed for obtaining minimal
 // residual data but not real object matching").
+//
+// A sixth method, HME, runs a hierarchical coarse-to-fine pyramid search:
+// the luma plane is downsampled 2x per level, a cheap full search at the
+// coarsest level covers the entire displacement range, and the top
+// candidates are refined at each finer level with the same rate-aware
+// `consider` machinery the pattern searches use. HME therefore finds the
+// large global displacements only ESA/TESA are guaranteed to reach, at a
+// small multiple of HEX's cost, and keeps the predictor bias that makes
+// pattern fields spatially coherent.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "codec/sad_kernels.h"
 #include "codec/types.h"
@@ -34,7 +44,24 @@ struct MotionSearchConfig {
   /// kScalar pins the canonical scalar kernel. Every kernel returns the
   /// same sums, so the searched field is identical either way.
   SadKernelPolicy sad = SadKernelPolicy::kAuto;
+  /// Pyramid levels ABOVE full resolution for kHme (each level halves
+  /// the luma). 2 gives a 3-level pyramid; clamped so the coarsest block
+  /// stays at least 4x4.
+  int hme_levels = 2;
+  /// Coarse-level candidates carried down the pyramid for kHme. More
+  /// candidates approach exhaustive quality at linear extra cost.
+  int hme_candidates = 3;
 };
+
+/// Downsampled luma pyramid for hierarchical search. levels[0] is the
+/// half-resolution plane, levels[1] quarter, ... Each sample is the
+/// rounded mean of the 2x2 source quad (odd edges clamp).
+struct LumaPyramid {
+  std::vector<video::Plane> levels;
+};
+
+/// Builds `levels` pyramid planes above `base` (2x downsample each).
+LumaPyramid build_pyramid(const video::Plane& base, int levels);
 
 /// Reference sample at half-pel coordinates (hx, hy) = pixel position
 /// (hx/2, hy/2), bilinearly averaged on odd components; reads clamp to
@@ -75,9 +102,16 @@ class MotionSearcher {
                                          util::ThreadPool* pool = nullptr) const;
 
  private:
+  /// Current/reference pyramids, only populated for kHme.
+  struct PyramidPair {
+    LumaPyramid cur;
+    LumaPyramid ref;
+  };
+
   MotionVector search_block(const video::Plane& cur, const video::Plane& ref,
                             int cx, int cy, MotionVector pred,
-                            std::uint32_t& best_cost) const;
+                            std::uint32_t& best_cost,
+                            const PyramidPair* pyr) const;
 
   MotionSearchConfig config_;
   Sad16Fn sad_fn_;  ///< resolved once from config_.sad

@@ -22,13 +22,16 @@ constexpr int kMaxQp = 51;
 
 enum class FrameType : std::uint8_t { kIntra = 0, kInter = 1 };
 
-/// Block-matching search strategies, in ascending x264 complexity order.
+/// Block-matching search strategies, in ascending x264 complexity order,
+/// plus the hierarchical pyramid search (HME) that covers the same
+/// displacement range as the exhaustive methods at pattern-search cost.
 enum class MotionSearchMethod : std::uint8_t {
   kDia = 0,   ///< small-diamond iterative search
   kHex = 1,   ///< hexagon search (DiVE's default)
   kUmh = 2,   ///< uneven multi-hexagon search
   kTesa = 3,  ///< exhaustive with Hadamard (SATD) metric
   kEsa = 4,   ///< exhaustive SAD search
+  kHme = 5,   ///< hierarchical coarse-to-fine pyramid search
 };
 
 const char* to_string(MotionSearchMethod m);

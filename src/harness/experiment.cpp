@@ -46,6 +46,8 @@ codec::EncoderConfig encoder_config_for(const data::Clip& clip,
   cfg.height = clip.camera.height();
   cfg.search.method = options.search;
   cfg.gop_length = options.gop_length;
+  cfg.skip_blocks = options.skip_blocks;
+  if (options.skip_threshold >= 0) cfg.skip_threshold = options.skip_threshold;
   return cfg;
 }
 

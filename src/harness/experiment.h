@@ -55,6 +55,11 @@ struct NetworkScenario {
 /// Per-run knobs, covering every ablation the paper sweeps.
 struct SchemeOptions {
   codec::MotionSearchMethod search = codec::MotionSearchMethod::kHex;
+  /// Per-macroblock SKIP coding (encoder.h): forced reference copies for
+  /// macroblocks whose residual at the predicted MV is negligible.
+  bool skip_blocks = true;
+  /// Luma SAD budget for a forced SKIP; <0 keeps the encoder default.
+  int skip_threshold = -1;
   /// Fixed background delta for Fig. 11 (-1 = adaptive).
   int fixed_delta = -1;
   bool enable_offline_tracking = true;  ///< Fig. 13

@@ -1,6 +1,7 @@
 #include "net/bandwidth.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -33,8 +34,14 @@ util::SimTime BandwidthTrace::time_to_send(util::SimTime t0, double bytes,
     const double rate = bytes_per_sec(t);
     const double capacity = rate * util::to_seconds(seg_end - t);
     if (capacity >= remaining && rate > 0.0) {
-      return t + static_cast<util::SimTime>(remaining / rate *
-                                            util::kMicrosPerSec);
+      // Round the fractional microsecond UP: truncating would return a
+      // completion time at which slightly less than `bytes` has drained
+      // (bytes_between(t0, result) < bytes), letting callers double-count
+      // the missing tail. Ceil keeps the completion conservative and,
+      // since capacity >= remaining over an integer-microsecond segment,
+      // can never overshoot seg_end (or the horizon).
+      return t + static_cast<util::SimTime>(
+                     std::ceil(remaining / rate * util::kMicrosPerSec));
     }
     remaining -= capacity;
     if (seg_end <= t) break;
@@ -113,6 +120,12 @@ OutageBandwidth::OutageBandwidth(std::shared_ptr<const BandwidthTrace> base,
 std::vector<OutageBandwidth::Outage> OutageBandwidth::periodic(
     util::SimTime first_start, util::SimTime interval, util::SimTime duration,
     util::SimTime until) {
+  if (interval <= 0)
+    throw std::invalid_argument(
+        "OutageBandwidth::periodic: interval must be > 0");
+  if (duration < 0)
+    throw std::invalid_argument(
+        "OutageBandwidth::periodic: duration must be >= 0");
   std::vector<Outage> out;
   for (util::SimTime s = first_start; s < until; s += interval) {
     out.push_back({s, s + duration});

@@ -1,6 +1,7 @@
 #include "util/histogram.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace dive::util {
@@ -13,9 +14,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
 }
 
 void Histogram::add(double x) {
-  auto idx = static_cast<long>((x - lo_) / width_);
-  idx = std::clamp(idx, 0L, static_cast<long>(counts_.size()) - 1L);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // NaN has no meaningful bin; counting it separately keeps total() equal
+  // to the sum of bin counts.
+  if (std::isnan(x)) {
+    ++nan_count_;
+    return;
+  }
+  // Clamp in the DOUBLE domain before converting: a huge or infinite x
+  // makes (x - lo_) / width_ exceed the range of long, and casting an
+  // out-of-range double to an integer is undefined behavior — not merely
+  // a large value that the old post-cast clamp could fix up.
+  const double pos = (x - lo_) / width_;
+  const double hi_bin = static_cast<double>(counts_.size()) - 1.0;
+  const auto idx =
+      static_cast<std::size_t>(std::clamp(std::floor(pos), 0.0, hi_bin));
+  ++counts_[idx];
   ++total_;
 }
 

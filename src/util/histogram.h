@@ -10,8 +10,9 @@ namespace dive::util {
 
 class Histogram {
  public:
-  /// `bins` uniform-width buckets spanning [lo, hi). Values outside the
-  /// range are clamped into the first/last bin.
+  /// `bins` uniform-width buckets spanning [lo, hi). Finite values outside
+  /// the range (and ±inf) are clamped into the first/last bin; NaN is
+  /// counted separately (nan_count) and lands in no bin.
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
@@ -19,6 +20,8 @@ class Histogram {
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
   [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_[bin]; }
   [[nodiscard]] std::size_t total() const { return total_; }
+  /// NaN samples seen by add(); excluded from every bin and from total().
+  [[nodiscard]] std::size_t nan_count() const { return nan_count_; }
   [[nodiscard]] const std::vector<std::size_t>& counts() const { return counts_; }
 
   /// Center value of bin `i`.
@@ -35,6 +38,7 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nan_count_ = 0;
 };
 
 }  // namespace dive::util

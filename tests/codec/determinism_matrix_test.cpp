@@ -1,10 +1,14 @@
 // Determinism matrix for the encode pipeline: the encoded bytes (and
 // PSNR) of a seeded sequence must be identical across every cell of
-//   {1, 2, 8 threads} x {scalar, auto SAD kernel} x {overlap on, off},
+//   {1, 2, 8 threads} x {scalar, auto SAD kernel} x {overlap on, off}
+//     x {hex, hme search} x {skip on, off},
 // where "overlap" is the frame-pipelined schedule that prefetches the
 // next frame's motion search while the current bitstream is emitted
-// (encoder.h). This is the lockdown for both tentpole changes: SIMD may
-// only change speed, and pipelining may only change scheduling.
+// (encoder.h), "hme" is the hierarchical pyramid search, and "skip" is
+// per-macroblock SKIP coding. Threads/kernel/overlap may only change
+// speed, never bytes; hme and skip DO change bytes, so each (hme, skip)
+// pair forms its own baseline group and every cell must match its
+// group's serial-scalar baseline exactly.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -53,13 +57,19 @@ struct Cell {
   SadKernelPolicy sad;
   bool overlap;
   bool hint;  ///< feed next_src lookahead hints
+  bool hme = false;  ///< hierarchical pyramid search instead of hex
+  /// Per-macroblock SKIP coding; defaults to the EncoderConfig default so
+  /// partially-braced Cells compare against default-config encoders.
+  bool skip = true;
 };
 
 std::string cell_name(const Cell& c) {
   return "threads=" + std::to_string(c.threads) +
          (c.sad == SadKernelPolicy::kScalar ? " sad=scalar" : " sad=auto") +
          (c.overlap ? " overlap=on" : " overlap=off") +
-         (c.hint ? " hint=on" : " hint=off");
+         (c.hint ? " hint=on" : " hint=off") +
+         (c.hme ? " search=hme" : " search=hex") +
+         (c.skip ? " skip=on" : " skip=off");
 }
 
 EncoderConfig cell_config(const Cell& c, int w, int h) {
@@ -67,8 +77,11 @@ EncoderConfig cell_config(const Cell& c, int w, int h) {
   cfg.width = w;
   cfg.height = h;
   cfg.threads = c.threads;
+  cfg.search.method =
+      c.hme ? MotionSearchMethod::kHme : MotionSearchMethod::kHex;
   cfg.search.sad = c.sad;
   cfg.pipeline_overlap = c.overlap;
+  cfg.skip_blocks = c.skip;
   return cfg;
 }
 
@@ -99,47 +112,61 @@ std::vector<EncodedFrame> encode_targeted(const Cell& c,
   return out;
 }
 
-std::vector<Cell> matrix_cells() {
+std::vector<Cell> matrix_cells(bool hme, bool skip) {
   std::vector<Cell> cells;
   for (int threads : {1, 2, 8})
     for (SadKernelPolicy sad :
          {SadKernelPolicy::kScalar, SadKernelPolicy::kAuto})
       for (bool overlap : {false, true})
-        cells.push_back({threads, sad, overlap, /*hint=*/overlap});
+        cells.push_back({threads, sad, overlap, /*hint=*/overlap, hme, skip});
   // One extra cell: overlap enabled in config but no hints delivered
   // (the common caller that never learns the next frame).
-  cells.push_back({8, SadKernelPolicy::kAuto, true, false});
+  cells.push_back({8, SadKernelPolicy::kAuto, true, false, hme, skip});
   return cells;
 }
 
 TEST(DeterminismMatrix, FixedQpBytesAndPsnrIdentical) {
   const auto seq = matrix_sequence(128, 64, 5);
-  const Cell base{1, SadKernelPolicy::kScalar, false, false};
-  const auto baseline = encode_fixed_qp(base, seq, 26);
-  for (const Cell& c : matrix_cells()) {
-    const auto run = encode_fixed_qp(c, seq, 26);
-    ASSERT_EQ(run.size(), baseline.size());
-    for (std::size_t i = 0; i < baseline.size(); ++i) {
-      ASSERT_EQ(run[i].data, baseline[i].data)
-          << cell_name(c) << " frame=" << i;
-      ASSERT_EQ(run[i].base_qp, baseline[i].base_qp) << cell_name(c);
-      ASSERT_DOUBLE_EQ(run[i].psnr_y, baseline[i].psnr_y) << cell_name(c);
+  for (bool hme : {false, true}) {
+    for (bool skip : {false, true}) {
+      const Cell base{1, SadKernelPolicy::kScalar, false, false, hme, skip};
+      const auto baseline = encode_fixed_qp(base, seq, 26);
+      for (const Cell& c : matrix_cells(hme, skip)) {
+        const auto run = encode_fixed_qp(c, seq, 26);
+        ASSERT_EQ(run.size(), baseline.size());
+        for (std::size_t i = 0; i < baseline.size(); ++i) {
+          ASSERT_EQ(run[i].data, baseline[i].data)
+              << cell_name(c) << " frame=" << i;
+          ASSERT_EQ(run[i].base_qp, baseline[i].base_qp) << cell_name(c);
+          ASSERT_EQ(run[i].skipped_mbs, baseline[i].skipped_mbs)
+              << cell_name(c);
+          ASSERT_DOUBLE_EQ(run[i].psnr_y, baseline[i].psnr_y)
+              << cell_name(c);
+        }
+      }
     }
   }
 }
 
 TEST(DeterminismMatrix, RateControlledBytesAndPsnrIdentical) {
   const auto seq = matrix_sequence(128, 64, 5);
-  const Cell base{1, SadKernelPolicy::kScalar, false, false};
-  const auto baseline = encode_targeted(base, seq, 900);
-  for (const Cell& c : matrix_cells()) {
-    const auto run = encode_targeted(c, seq, 900);
-    ASSERT_EQ(run.size(), baseline.size());
-    for (std::size_t i = 0; i < baseline.size(); ++i) {
-      ASSERT_EQ(run[i].data, baseline[i].data)
-          << cell_name(c) << " frame=" << i;
-      ASSERT_EQ(run[i].base_qp, baseline[i].base_qp) << cell_name(c);
-      ASSERT_DOUBLE_EQ(run[i].psnr_y, baseline[i].psnr_y) << cell_name(c);
+  for (bool hme : {false, true}) {
+    for (bool skip : {false, true}) {
+      const Cell base{1, SadKernelPolicy::kScalar, false, false, hme, skip};
+      const auto baseline = encode_targeted(base, seq, 900);
+      for (const Cell& c : matrix_cells(hme, skip)) {
+        const auto run = encode_targeted(c, seq, 900);
+        ASSERT_EQ(run.size(), baseline.size());
+        for (std::size_t i = 0; i < baseline.size(); ++i) {
+          ASSERT_EQ(run[i].data, baseline[i].data)
+              << cell_name(c) << " frame=" << i;
+          ASSERT_EQ(run[i].base_qp, baseline[i].base_qp) << cell_name(c);
+          ASSERT_EQ(run[i].skipped_mbs, baseline[i].skipped_mbs)
+              << cell_name(c);
+          ASSERT_DOUBLE_EQ(run[i].psnr_y, baseline[i].psnr_y)
+              << cell_name(c);
+        }
+      }
     }
   }
 }

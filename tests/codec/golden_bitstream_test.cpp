@@ -56,9 +56,15 @@ std::uint64_t fnv1a(std::uint64_t h, const std::vector<std::uint8_t>& bytes) {
 }
 
 /// Digest of the full encoded sequence (6 frames, 1 intra + 5 inter) at
-/// one base QP, frame boundaries mixed in via the per-frame size.
-std::uint64_t sequence_digest(int qp) {
-  Encoder enc({.width = 128, .height = 64, .threads = 2});
+/// one base QP and search method, frame boundaries mixed in via the
+/// per-frame size.
+std::uint64_t sequence_digest(int qp,
+                              MotionSearchMethod method =
+                                  MotionSearchMethod::kHex) {
+  Encoder enc({.width = 128,
+               .height = 64,
+               .search = {.method = method},
+               .threads = 2});
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (int i = 0; i < 6; ++i) {
     const video::Frame next = golden_frame(
@@ -76,23 +82,34 @@ std::uint64_t sequence_digest(int qp) {
 
 struct GoldenPoint {
   int qp;
+  MotionSearchMethod method;
   std::uint64_t digest;
 };
 
 // Baked from the canonical scalar serial encode; every {kernel, thread
 // count, overlap} cell must reproduce these exactly (see the determinism
 // matrix test for the cross-cell proof, this test for drift vs. history).
+//
+// Re-baked when per-macroblock SKIP coding landed: the skip bit changed
+// from "zero MV and no residual" to "MV equals its predictor and no
+// residual" (reference copy at the PREDICTED MV), and low-residual
+// macroblocks are now forced to SKIP below the encoder's SAD threshold.
+// Only the qp=38 digest moved (at qp=22 no macroblock of this sequence
+// satisfies either skip predicate). The hme point pins the hierarchical
+// pyramid search alongside the default hex.
 constexpr GoldenPoint kGolden[] = {
-    {22, 0x5d6f40da263a3402ULL},
-    {38, 0xc61743d3343287f6ULL},
+    {22, MotionSearchMethod::kHex, 0x5d6f40da263a3402ULL},
+    {38, MotionSearchMethod::kHex, 0x8e7244f23a7bb49eULL},
+    {30, MotionSearchMethod::kHme, 0x5494e2988427b784ULL},
 };
 
 TEST(GoldenBitstream, DigestsMatchCheckedInConstants) {
   for (const auto& point : kGolden) {
-    const std::uint64_t actual = sequence_digest(point.qp);
+    const std::uint64_t actual = sequence_digest(point.qp, point.method);
     EXPECT_EQ(actual, point.digest)
         << "\n"
-        << "GOLDEN BITSTREAM MISMATCH at qp=" << point.qp << "\n"
+        << "GOLDEN BITSTREAM MISMATCH at qp=" << point.qp << " method="
+        << to_string(point.method) << "\n"
         << "  expected digest: 0x" << std::hex << point.digest << "\n"
         << "  actual digest:   0x" << std::hex << actual << "\n"
         << "The encoder's output changed for the pinned seeded sequence.\n"

@@ -84,13 +84,15 @@ class SearchMethodTest
 TEST_P(SearchMethodTest, FindsKnownTranslation) {
   const auto ref = textured_plane(96, 96, 5);
   // Pattern searches descend a cost gradient; very large displacements
-  // are only guaranteed for the exhaustive methods.
-  const bool exhaustive = GetParam() == MotionSearchMethod::kEsa ||
-                          GetParam() == MotionSearchMethod::kTesa;
+  // are only guaranteed for the exhaustive methods — and for HME, whose
+  // coarse-level full search covers the whole (downsampled) range.
+  const bool wide_range = GetParam() == MotionSearchMethod::kEsa ||
+                          GetParam() == MotionSearchMethod::kTesa ||
+                          GetParam() == MotionSearchMethod::kHme;
   const std::vector<std::pair<int, int>> small = {
       {0, 0}, {2, 1}, {-4, 3}, {6, -5}};
   std::vector<std::pair<int, int>> shifts = small;
-  if (exhaustive) shifts.push_back({-12, -12});
+  if (wide_range) shifts.push_back({-12, -12});
   for (const auto [dx, dy] : shifts) {
     const auto cur = shifted(ref, dx, dy);
     MotionSearchConfig cfg;
@@ -123,7 +125,8 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, SearchMethodTest,
                                            MotionSearchMethod::kHex,
                                            MotionSearchMethod::kUmh,
                                            MotionSearchMethod::kTesa,
-                                           MotionSearchMethod::kEsa),
+                                           MotionSearchMethod::kEsa,
+                                           MotionSearchMethod::kHme),
                          [](const auto& info) {
                            return std::string(to_string(info.param));
                          });
@@ -151,6 +154,53 @@ TEST(MotionVector, HalfPelConversions) {
   EXPECT_EQ(MotionVector::from_fullpel(2, -3), (MotionVector{4, -6}));
   EXPECT_TRUE((MotionVector{0, 0}).is_zero());
   EXPECT_FALSE((MotionVector{1, 0}).is_zero());
+}
+
+TEST(LumaPyramid, HalvesDimensionsAndAveragesQuads) {
+  video::Plane base(8, 4);
+  // Quad (0,0): 10,20,30,40 -> rounded mean 25.
+  base.at(0, 0) = 10;
+  base.at(1, 0) = 20;
+  base.at(0, 1) = 30;
+  base.at(1, 1) = 40;
+  const auto pyr = build_pyramid(base, 2);
+  ASSERT_EQ(pyr.levels.size(), 2u);
+  EXPECT_EQ(pyr.levels[0].width, 4);
+  EXPECT_EQ(pyr.levels[0].height, 2);
+  EXPECT_EQ(pyr.levels[1].width, 2);
+  EXPECT_EQ(pyr.levels[1].height, 1);
+  EXPECT_EQ(pyr.levels[0].at(0, 0), 25);
+}
+
+TEST(MotionSearch, HmeFindsLargeShiftPatternSearchesMiss) {
+  // A displacement well beyond the hex pattern's descent basin: the
+  // pyramid's coarse full search must still land on the true motion.
+  const auto ref = textured_plane(128, 128, 21);
+  const auto cur = shifted(ref, -18, 14);
+  MotionSearchConfig cfg;
+  cfg.method = MotionSearchMethod::kHme;
+  const MotionSearcher searcher(cfg);
+  const auto field = searcher.search_frame(cur, ref);
+  const auto mv = field.at(3, 3);  // interior macroblock
+  EXPECT_EQ(mv.dx, 2 * -18);
+  EXPECT_EQ(mv.dy, 2 * 14);
+}
+
+TEST(MotionSearch, HmeMatchesConfiguredLevelClamp) {
+  // hme_levels outside [1, 2] must clamp rather than misbehave; the
+  // found field on a plain translation is the same either way.
+  const auto ref = textured_plane(96, 96, 23);
+  const auto cur = shifted(ref, 5, -3);
+  for (const int levels : {0, 1, 2, 7}) {
+    MotionSearchConfig cfg;
+    cfg.method = MotionSearchMethod::kHme;
+    cfg.hme_levels = levels;
+    const MotionSearcher searcher(cfg);
+    const auto field = searcher.search_frame(cur, ref);
+    const auto mv = field.at(2, 2);
+    EXPECT_EQ(mv.dx, 2 * 5) << "levels=" << levels;
+    EXPECT_EQ(mv.dy, 2 * -3) << "levels=" << levels;
+  }
 }
 
 TEST(MotionSearch, ZeroBiasOnStaticNoise) {

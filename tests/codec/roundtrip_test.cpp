@@ -56,6 +56,69 @@ TEST(Codec, InterSequenceStaysInSync) {
   }
 }
 
+TEST(Codec, SkipBlocksRoundTripAndFireOnStaticContent) {
+  // A static scene: nearly every inter macroblock should be coded as a
+  // one-bit SKIP, the stream must shrink accordingly, and the decoder's
+  // reference-copy reconstruction must track the encoder exactly.
+  Encoder skip_enc({.width = 128, .height = 64, .skip_blocks = true});
+  Encoder nosk_enc({.width = 128, .height = 64, .skip_blocks = false});
+  Decoder dec;
+  const auto frame = synthetic_frame(128, 64, 7);
+  // Frame 0 (intra) seeds encoder and decoder references alike.
+  (void)dec.decode(skip_enc.encode(frame, 30).data);
+  (void)nosk_enc.encode(frame, 30);
+  // Encode the SAME frame again: the reference now matches the source at
+  // zero MV, so the skip threshold fires everywhere.
+  const auto with_skip = skip_enc.encode(frame, 30);
+  const auto without = nosk_enc.encode(frame, 30);
+  EXPECT_EQ(with_skip.type, FrameType::kInter);
+  // The reference is the QP-30 intra RECONSTRUCTION, not the source, so
+  // demand most (not all) macroblocks under the SAD threshold.
+  const int mb_count = (128 / 16) * (64 / 16);
+  EXPECT_GT(with_skip.skipped_mbs, mb_count / 2);
+  const auto decoded = dec.decode(with_skip.data);
+  EXPECT_EQ(decoded.frame, skip_enc.reference());
+  // ~1 bit/MB + header vs. whatever the residual path costs.
+  EXPECT_LE(with_skip.bytes(), without.bytes());
+  const auto& stats = skip_enc.skip_stats();
+  EXPECT_GT(stats.skipped_mbs, 0);
+  EXPECT_GT(stats.inter_mbs, 0);
+}
+
+TEST(Codec, SkipDisabledStreamsStillDecode) {
+  // skip_blocks=false only disables FORCED skips; naturally skippable
+  // macroblocks (MV == predictor, no residual) still use the skip bit,
+  // so one decoder serves both encoder configurations.
+  Encoder enc({.width = 128, .height = 64, .skip_blocks = false});
+  Decoder dec;
+  for (int i = 0; i < 4; ++i) {
+    const auto frame = synthetic_frame(128, 64, 300 + i, i * 2);
+    const auto encoded = enc.encode(frame, 28);
+    const auto decoded = dec.decode(encoded.data);
+    ASSERT_EQ(decoded.frame, enc.reference()) << "frame " << i;
+  }
+}
+
+TEST(Codec, SkipCarriesPredictedMotionThroughDecoder) {
+  // A globally panning scene: once the left-neighbor predictor locks
+  // onto the pan, low-residual macroblocks skip WITH the predicted
+  // (nonzero) motion — the decoded motion field must equal the coded
+  // field the encoder reports, including skip macroblocks.
+  Encoder enc({.width = 128, .height = 64, .skip_blocks = true});
+  Decoder dec;
+  for (int i = 0; i < 4; ++i) {
+    const auto frame = synthetic_frame(128, 64, 9, i * 4);  // same texture
+    const auto encoded = enc.encode(frame, 30);
+    const auto decoded = dec.decode(encoded.data);
+    ASSERT_EQ(decoded.frame, enc.reference()) << "frame " << i;
+    if (encoded.type == FrameType::kInter) {
+      ASSERT_EQ(decoded.motion.mvs, encoded.motion.mvs) << "frame " << i;
+      EXPECT_GT(decoded.motion.nonzero_ratio(), 0.5) << "frame " << i;
+    }
+  }
+  EXPECT_GT(enc.skip_stats().skipped_mbs, 0);
+}
+
 TEST(Codec, LowQpHighFidelity) {
   Encoder enc({.width = 128, .height = 64});
   const auto frame = synthetic_frame(128, 64, 2);

@@ -104,6 +104,52 @@ TEST(OutageBandwidth, TransferStallsThroughOutage) {
   EXPECT_EQ(t, from_millis(1600));
 }
 
+// time_to_send must be conservative: by the returned completion time, at
+// least the requested bytes have actually drained. Truncating the
+// fractional microsecond (the old behavior) violated this whenever the
+// transfer didn't end on an exact microsecond.
+TEST(BandwidthTrace, TimeToSendCoversRequestedBytes) {
+  // Rates chosen so remaining/rate lands between microsecond ticks.
+  const double rates[] = {3.0, 7.0, 333.0, 999.0, 1e6, 123456.789};
+  const double byte_counts[] = {1.0, 2.0, 10.0, 997.0, 12345.0};
+  for (const double rate : rates) {
+    ConstantBandwidth bw(rate);
+    for (const double bytes : byte_counts) {
+      const util::SimTime t0 = from_millis(250);
+      const auto done = bw.time_to_send(t0, bytes, from_seconds(1'000'000));
+      EXPECT_GE(bw.bytes_between(t0, done), bytes)
+          << "rate=" << rate << " bytes=" << bytes;
+      // ...and conservative by less than one microsecond's worth of data.
+      EXPECT_LE(bw.bytes_between(t0, done), bytes + rate * 1e-6 + 1e-9)
+          << "rate=" << rate << " bytes=" << bytes;
+    }
+  }
+}
+
+TEST(BandwidthTrace, TimeToSendCoversBytesAcrossRateBoundary) {
+  // The transfer finishes mid-segment after crossing a rate change; the
+  // completion must still cover the requested bytes exactly as integrated
+  // by bytes_between.
+  SteppedBandwidth bw({{0, 777.0}, {from_millis(900), 131.0}});
+  const double bytes = 1000.0;
+  const auto done = bw.time_to_send(from_millis(100), bytes,
+                                    from_seconds(1'000'000));
+  EXPECT_GT(done, from_millis(900));  // sanity: it does cross the step
+  EXPECT_GE(bw.bytes_between(from_millis(100), done), bytes);
+}
+
+TEST(OutageBandwidth, PeriodicRejectsBadConfig) {
+  EXPECT_THROW(OutageBandwidth::periodic(0, 0, from_seconds(1),
+                                         from_seconds(10)),
+               std::invalid_argument);
+  EXPECT_THROW(OutageBandwidth::periodic(0, from_seconds(-5), from_seconds(1),
+                                         from_seconds(10)),
+               std::invalid_argument);
+  EXPECT_THROW(OutageBandwidth::periodic(0, from_seconds(5), from_seconds(-1),
+                                         from_seconds(10)),
+               std::invalid_argument);
+}
+
 TEST(OutageBandwidth, PeriodicSchedule) {
   const auto outages = OutageBandwidth::periodic(
       from_seconds(3), from_seconds(5), from_seconds(1), from_seconds(20));

@@ -73,6 +73,46 @@ TEST(Scheduler, PartialBatchWaitsOutTheWindow) {
   EXPECT_EQ(batches[0].start, from_millis(5));  // dispatched at window close
 }
 
+TEST(Scheduler, JobArrivingExactlyAtWindowCloseJoinsBatch) {
+  // The window is inclusive of its close instant: a job with
+  // arrival == close rides the batch instead of opening the next one.
+  Scheduler s = make_scheduler(1, 4, from_millis(5.0));
+  s.submit(job(0, 0, 0));
+  s.submit(job(0, 1, from_millis(5)));  // exactly at close = 0 + 5 ms
+  const auto batches = s.run_until(from_millis(5));
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].jobs.size(), 2u);
+  EXPECT_EQ(batches[0].start, from_millis(5));
+}
+
+TEST(Scheduler, MaxBatchOneIgnoresWindow) {
+  // With batching disabled the window must not apply: each job dispatches
+  // the moment worker and job meet, and consecutive jobs pack back to
+  // back with no window gap.
+  Scheduler s = make_scheduler(1, 1, from_millis(50.0));
+  s.submit(job(0, 0, from_millis(10)));
+  s.submit(job(0, 1, from_millis(10)));
+  const auto batches = s.run_until(from_millis(10));
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].start, from_millis(10));  // no 50 ms window wait
+  EXPECT_EQ(batches[0].done, from_millis(10) + kDecode + kInfer);
+  EXPECT_EQ(batches[1].start, batches[0].done);  // and none between jobs
+}
+
+TEST(Scheduler, FullBatchFinalizesWhenLastArrivalEqualsNow) {
+  // A full batch is final once no submission strictly after `now` could
+  // displace a member — i.e. exactly when now reaches the last arrival,
+  // not one event later.
+  Scheduler s = make_scheduler(1, 2, from_millis(4.0));
+  s.submit(job(0, 0, 0));
+  s.submit(job(0, 1, from_millis(3)));
+  EXPECT_TRUE(s.run_until(from_millis(2)).empty());  // not final yet
+  const auto batches = s.run_until(from_millis(3));  // now == last_arrival
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].jobs.size(), 2u);
+  EXPECT_EQ(batches[0].start, from_millis(3));  // max(open, last_arrival)
+}
+
 TEST(Scheduler, MaxBatchSplitsBacklog) {
   Scheduler s = make_scheduler(1, 4);
   for (int f = 0; f < 6; ++f) s.submit(job(0, f, 0));

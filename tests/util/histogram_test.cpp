@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 namespace dive::util {
@@ -51,6 +52,33 @@ TEST(Histogram, BoundaryValueGoesToUpperBin) {
   Histogram h(0.0, 4.0, 4);
   h.add(1.0);  // exactly on the edge between bin 0 and 1
   EXPECT_EQ(h.count(1), 1u);
+}
+
+// (x - lo) / width on these inputs overflows long before the old
+// post-cast clamp could run — the cast itself was undefined behavior.
+// The fix clamps in the double domain, so extremes land in the edge bins.
+TEST(Histogram, ExtremeValuesClampWithoutOverflow) {
+  Histogram h(0.0, 1.0, 8);
+  h.add(1e300);
+  h.add(-1e300);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(7), 2u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.nan_count(), 0u);
+}
+
+TEST(Histogram, NanCountedSeparately) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(0.5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.total(), 1u);  // NaN lands in no bin and is not in total
+  std::size_t sum = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) sum += h.count(b);
+  EXPECT_EQ(sum, h.total());
 }
 
 }  // namespace

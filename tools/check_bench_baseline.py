@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_*.json record against a checked-in baseline.
+
+Usage:
+    check_bench_baseline.py BASELINE FRESH [--tolerance X]
+
+The baseline pins the metric SET exactly (a renamed or dropped metric is
+a hard failure — the record is an interface) and the VALUES loosely:
+CI runners differ wildly in clock speed, so only order-of-magnitude
+regressions should fail the build.
+
+Per-unit direction:
+  time-like units (ns/call, ms/frame, ...): fresh <= baseline * tolerance
+  ratio units ("x", speedups):              fresh >= baseline / tolerance
+Other units are checked for presence only.
+"""
+
+import argparse
+import json
+import sys
+
+TIME_UNITS = {"ns", "ns/call", "us", "ms", "ms/frame", "s"}
+RATIO_UNITS = {"x"}
+
+
+def load_records(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != 1:
+        sys.exit(f"{path}: unknown schema {doc.get('schema')!r}")
+    return {rec["metric"]: rec for rec in doc["records"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=4.0,
+        help="allowed slowdown/shrink factor before failing (default 4x, "
+        "deliberately generous: shared CI runners are noisy)",
+    )
+    args = ap.parse_args()
+
+    base = load_records(args.baseline)
+    fresh = load_records(args.fresh)
+
+    failures = []
+    for name, brec in sorted(base.items()):
+        frec = fresh.get(name)
+        if frec is None:
+            failures.append(f"{name}: missing from fresh record")
+            continue
+        if frec["unit"] != brec["unit"]:
+            failures.append(
+                f"{name}: unit changed {brec['unit']!r} -> {frec['unit']!r}"
+            )
+            continue
+        bval, fval, unit = brec["value"], frec["value"], brec["unit"]
+        if unit in TIME_UNITS and bval > 0:
+            limit = bval * args.tolerance
+            verdict = "OK" if fval <= limit else "REGRESSED"
+            print(f"{name}: {fval:.4g} {unit} (baseline {bval:.4g}, "
+                  f"limit {limit:.4g}) {verdict}")
+            if fval > limit:
+                failures.append(
+                    f"{name}: {fval:.4g} {unit} exceeds {args.tolerance}x "
+                    f"baseline {bval:.4g}"
+                )
+        elif unit in RATIO_UNITS and bval > 0:
+            floor = bval / args.tolerance
+            verdict = "OK" if fval >= floor else "REGRESSED"
+            print(f"{name}: {fval:.4g}{unit} (baseline {bval:.4g}, "
+                  f"floor {floor:.4g}) {verdict}")
+            if fval < floor:
+                failures.append(
+                    f"{name}: {fval:.4g}{unit} below baseline "
+                    f"{bval:.4g}/{args.tolerance}"
+                )
+        else:
+            print(f"{name}: present ({fval:.4g} {unit}), value not compared")
+
+    extra = sorted(set(fresh) - set(base))
+    for name in extra:
+        print(f"{name}: new metric (not in baseline), ignored")
+
+    if failures:
+        print("\nbench baseline check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench baseline check OK ({len(base)} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
