@@ -6,6 +6,7 @@
 // Besides the google-benchmark suite, main() emits three machine-readable
 // records (bench_record.h, schema-checked in CI):
 //   BENCH_micro_sad.json      scalar vs. dispatched SAD kernel timing
+//   BENCH_micro_sse.json      scalar vs. dispatched PSNR/SSE kernel timing
 //   BENCH_micro_overlap.json  per-frame encode time, overlap off vs. on
 //   BENCH_micro_hme.json      hierarchical pyramid search vs. the other
 //                             methods on a synthetic driving pan (time +
@@ -28,6 +29,7 @@
 #include "codec/motion_search.h"
 #include "codec/quant.h"
 #include "codec/sad_kernels.h"
+#include "video/sse_kernels.h"
 #include "obs/obs.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -114,6 +116,25 @@ void BM_SadKernel(benchmark::State& state) {
                      : "scalar");
 }
 BENCHMARK(BM_SadKernel)->Arg(0)->Arg(1);
+
+// PSNR accumulation kernel (video/sse_kernels.h): Arg(0) canonical
+// scalar, Arg(1) the dispatched kernel, over a full 256x256 plane per
+// call — the shape psnr_y pays once per encoded frame.
+void BM_SseKernel(benchmark::State& state) {
+  const auto cur = textured_frame(256, 256, 4);
+  const auto ref = textured_frame(256, 256, 14);
+  const dive::video::SseU8Fn fn = state.range(0) != 0
+                                      ? dive::video::sse_u8_fn()
+                                      : &dive::video::sse_u8_scalar;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fn(cur.y.data.data(), ref.y.data.data(), cur.y.data.size()));
+  }
+  state.SetLabel(state.range(0) != 0
+                     ? dive::video::to_string(dive::video::active_sse_kernel())
+                     : "scalar");
+}
+BENCHMARK(BM_SseKernel)->Arg(0)->Arg(1);
 
 void BM_MotionSearchMethod(benchmark::State& state) {
   const auto cur = textured_frame(256, 128, 5);
@@ -354,6 +375,33 @@ void emit_sad_record() {
   rec.write();
 }
 
+/// BENCH_micro_sse.json: full-plane SSE accumulation (the PSNR hot loop)
+/// with the canonical scalar kernel vs. the dispatched one. Same
+/// matrix-leg caveat as the SAD record.
+void emit_sse_record() {
+  const auto cur = textured_frame(256, 256, 4);
+  const auto ref = textured_frame(256, 256, 14);
+  constexpr int kCalls = 2000;
+  const auto sweep = [&](dive::video::SseU8Fn fn) {
+    std::uint64_t acc = 0;
+    for (int i = 0; i < kCalls; ++i)
+      acc += fn(cur.y.data.data(), ref.y.data.data(), cur.y.data.size());
+    benchmark::DoNotOptimize(acc);
+  };
+  const double scalar_ns =
+      timed_ns(5, [&] { sweep(&dive::video::sse_u8_scalar); }) / kCalls;
+  const double simd_ns =
+      timed_ns(5, [&] { sweep(dive::video::sse_u8_fn()); }) / kCalls;
+
+  dive::bench::BenchRecorder rec("micro_sse");
+  rec.add("sse_plane.scalar", scalar_ns, "ns/call");
+  rec.add(std::string("sse_plane.") +
+              dive::video::to_string(dive::video::active_sse_kernel()),
+          simd_ns, "ns/call");
+  rec.add("sse_plane.speedup", simd_ns > 0 ? scalar_ns / simd_ns : 0.0, "x");
+  rec.write();
+}
+
 /// BENCH_micro_overlap.json: per-frame encode time of an 8-frame moving
 /// sequence with the pipelined lookahead hint off vs. on, at 1/2/4
 /// worker lanes. On a single-core host the overlap win collapses (the
@@ -432,6 +480,7 @@ void emit_hme_record() {
 
 int main(int argc, char** argv) {
   emit_sad_record();
+  emit_sse_record();
   emit_overlap_record();
   emit_hme_record();
   if (const char* only = std::getenv("DIVE_BENCH_RECORDS_ONLY");

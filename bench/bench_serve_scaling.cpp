@@ -10,9 +10,11 @@
 // DIVE_BENCH_SESSIONS (cap on the largest sweep point, default 64).
 //
 //   ./build/bench/bench_serve_scaling
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_record.h"
@@ -79,5 +81,109 @@ int main() {
     if (!identical) return 1;
   }
   recorder.write();
+
+  // RoI gating: metadata lane on vs off (BENCH_roi_gating.json). Two
+  // questions: (1) accuracy — at a load the node can fully serve, how
+  // much mAP does tile-gated inference give up, per ego-motion state;
+  // (2) capacity — at a load past saturation, how many more frames does
+  // the node complete when gated frames cost work < 1.
+  {
+    bench::BenchRecorder roi_recorder("roi_gating");
+
+    util::TextTable roi_table("RoI gating: metadata lane off vs on");
+    roi_table.set_header({"scenario", "mode", "sessions", "mAP", "gated",
+                          "px_frac", "work", "e2e_ms", "done"});
+    auto roi_row = [&](const std::string& scenario, const char* mode,
+                       int sessions, const harness::ServeScenarioResult& r) {
+      roi_table.add_row({scenario, mode, std::to_string(sessions),
+                         util::TextTable::fmt(r.aggregate_map, 3),
+                         std::to_string(r.gated),
+                         util::TextTable::fmt(r.mean_gated_pixel_fraction, 3),
+                         util::TextTable::fmt(r.mean_gate_work, 3),
+                         util::TextTable::fmt(r.mean_e2e_ms, 1),
+                         std::to_string(r.completed)});
+    };
+
+    auto run_pair = [&](int sessions, double stop_frac, double turn_frac) {
+      harness::ServeScenarioOptions opt = harness::default_serve_options();
+      opt.sessions = sessions;
+      opt.frames_per_session = frames;
+      opt.stop_and_go_fraction = stop_frac;
+      opt.turning_fraction = turn_frac;
+      const harness::ServeScenarioResult full = harness::run_serve_scenario(opt);
+      opt.roi_metadata = true;
+      const harness::ServeScenarioResult gated = harness::run_serve_scenario(opt);
+      return std::make_pair(full, gated);
+    };
+
+    // Accuracy points: light load (every frame served), the clip pool
+    // pinned to one ego-motion scenario per run, so the mAP delta is the
+    // cost of gated inference in that regime and nothing else.
+    struct Scenario {
+      const char* label;
+      double stop_frac;
+      double turn_frac;
+    };
+    const Scenario kScenarios[] = {{"stop_and_go", 1.0, 0.0},
+                                   {"straight", 0.0, 0.0},
+                                   {"turning", 0.0, 1.0}};
+    const int acc_sessions = std::min(4, max_sessions);
+    double pixel_fraction_sum = 0.0;
+    int pixel_fraction_n = 0;
+    for (const Scenario& sc : kScenarios) {
+      const auto [full, gated] =
+          run_pair(acc_sessions, sc.stop_frac, sc.turn_frac);
+      const std::string label = sc.label;
+      roi_recorder.add("map_full." + label, full.aggregate_map, "mAP");
+      roi_recorder.add("map_gated." + label, gated.aggregate_map, "mAP");
+      roi_recorder.add("map_delta." + label,
+                       full.aggregate_map - gated.aggregate_map, "mAP");
+      roi_recorder.add("gated_pixel_fraction." + label,
+                       gated.mean_gated_pixel_fraction, "frac");
+      roi_recorder.add("gate_work_mean." + label, gated.mean_gate_work,
+                       "frac");
+      roi_recorder.add("gated_frames." + label,
+                       static_cast<double>(gated.gated), "count");
+      roi_recorder.add("propagated_boxes." + label,
+                       static_cast<double>(gated.propagated_boxes), "count");
+      roi_recorder.add(
+          "sidecar_bytes_per_frame." + label,
+          gated.frames > 0 ? static_cast<double>(gated.sidecar_bytes) /
+                                 static_cast<double>(gated.frames)
+                           : 0.0,
+          "count");
+      if (gated.gated > 0) {
+        pixel_fraction_sum += gated.mean_gated_pixel_fraction;
+        ++pixel_fraction_n;
+      }
+      roi_row(label, "full", acc_sessions, full);
+      roi_row(label, "gated", acc_sessions, gated);
+    }
+    if (pixel_fraction_n > 0) {
+      const double mean_px = pixel_fraction_sum / pixel_fraction_n;
+      roi_recorder.add("gated_pixel_fraction", mean_px, "frac");
+      roi_recorder.add("gated_pixel_drop", 1.0 - mean_px, "frac");
+    }
+
+    // Capacity point: past saturation (default profile mix), completed
+    // frames measure how much extra session throughput gating buys.
+    if (max_sessions >= 16) {
+      const auto [full16, gated16] = run_pair(16, 0.25, 0.2);
+      roi_recorder.add("completed_full.16sessions",
+                       static_cast<double>(full16.completed), "count");
+      roi_recorder.add("completed_gated.16sessions",
+                       static_cast<double>(gated16.completed), "count");
+      if (full16.completed > 0) {
+        roi_recorder.add("capacity_gain.16sessions",
+                         static_cast<double>(gated16.completed) /
+                             static_cast<double>(full16.completed),
+                         "x");
+      }
+      roi_row("mixed", "full", 16, full16);
+      roi_row("mixed", "gated", 16, gated16);
+    }
+    roi_table.print(std::cout);
+    roi_recorder.write();
+  }
   return 0;
 }

@@ -427,24 +427,27 @@ std::vector<std::uint8_t> Encoder::emit_inter_trial(
   return bw.finish();
 }
 
-/// Skipped-macroblock count of one emitted trial: forced skips plus the
-/// natural ones (coded MV equal to its predictor, zero coded-block
-/// pattern — the same predicate emit_inter_trial writes a skip bit for).
-int Encoder::count_skips(const PreparedInter& prep,
-                         const InterPlan& plan) const {
+/// Per-macroblock SKIP flags of one emitted trial, raster order: forced
+/// skips plus the natural ones (coded MV equal to its predictor, zero
+/// coded-block pattern — the same predicate emit_inter_trial writes a
+/// skip bit for).
+std::vector<std::uint8_t> Encoder::skip_map(const PreparedInter& prep,
+                                            const InterPlan& plan) const {
   const int mb_cols = config_.width / kMb;
   const int mb_rows = config_.height / kMb;
-  int skipped = 0;
+  std::vector<std::uint8_t> skip(
+      static_cast<std::size_t>(mb_cols) * static_cast<std::size_t>(mb_rows),
+      0);
   for (int row = 0; row < mb_rows; ++row) {
     for (int col = 0; col < mb_cols; ++col) {
       const std::size_t mb = static_cast<std::size_t>(row) * mb_cols + col;
       const MotionVector mv = plan.eff_motion.at(col, row);
       const MotionVector pred_mv =
           col > 0 ? plan.eff_motion.at(col - 1, row) : MotionVector{};
-      if (mv == pred_mv && prep.cbp[mb] == 0) ++skipped;
+      if (mv == pred_mv && prep.cbp[mb] == 0) skip[mb] = 1;
     }
   }
-  return skipped;
+  return skip;
 }
 
 Encoder::Trial Encoder::run_inter_trial(const InterPlan& plan, int base_qp,
@@ -453,7 +456,9 @@ Encoder::Trial Encoder::run_inter_trial(const InterPlan& plan, int base_qp,
   Trial trial;
   trial.base_qp = prep.base_qp;
   trial.data = emit_inter_trial(prep, plan);
-  trial.skipped_mbs = count_skips(prep, plan);
+  trial.skip = skip_map(prep, plan);
+  trial.skipped_mbs = static_cast<int>(
+      std::count(trial.skip.begin(), trial.skip.end(), std::uint8_t{1}));
   trial.recon = std::move(prep.recon);
   return trial;
 }
@@ -508,7 +513,8 @@ Encoder::Trial Encoder::run_intra_trial(const video::Frame& src, int base_qp,
 EncodedFrame Encoder::finish_frame(std::vector<std::uint8_t> data,
                                    int base_qp, FrameType type,
                                    const MotionField* motion,
-                                   const video::Frame& src, int skipped_mbs) {
+                                   const video::Frame& src,
+                                   std::vector<std::uint8_t> skip) {
   // reference_ already holds this frame's reconstruction (the pipelined
   // schedule hands it over before emission so the prefetch can start).
   EncodedFrame out;
@@ -517,7 +523,11 @@ EncodedFrame Encoder::finish_frame(std::vector<std::uint8_t> data,
   out.base_qp = base_qp;
   if (type == FrameType::kInter && motion != nullptr) out.motion = *motion;
   out.psnr_y = video::psnr_y(src, reference_);
-  out.skipped_mbs = type == FrameType::kInter ? skipped_mbs : 0;
+  if (type == FrameType::kInter) {
+    out.skip = std::move(skip);
+    out.skipped_mbs = static_cast<int>(
+        std::count(out.skip.begin(), out.skip.end(), std::uint8_t{1}));
+  }
 
   force_intra_ = false;
   ++frame_index_;
@@ -572,9 +582,8 @@ EncodedFrame Encoder::encode(const video::Frame& src, int base_qp,
     has_reference_ = true;
     if (next_src != nullptr) launch_prefetch(*next_src);
     std::vector<std::uint8_t> data = emit_inter_trial(prep, plan);
-    const int skipped = count_skips(prep, plan);
     return finish_frame(std::move(data), prep.base_qp, type,
-                        &plan.eff_motion, src, skipped);
+                        &plan.eff_motion, src, skip_map(prep, plan));
   }
 
   Trial trial = run_intra_trial(src, base_qp, offsets);
@@ -691,7 +700,7 @@ EncodedFrame Encoder::encode_to_target(const video::Frame& src,
       : shared_plan             ? &shared_plan->eff_motion
                                 : &coded_motion;
   return finish_frame(std::move(chosen.data), chosen.base_qp, type, coded,
-                      src, chosen.skipped_mbs);
+                      src, std::move(chosen.skip));
 }
 
 }  // namespace dive::codec

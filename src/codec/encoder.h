@@ -106,6 +106,10 @@ struct EncodedFrame {
   /// Macroblocks coded as SKIP (inter frames; threshold-forced and
   /// natural skips both count).
   int skipped_mbs = 0;
+  /// Per-macroblock SKIP flags in raster order (inter frames; empty for
+  /// intra). Exactly the skip bits the bitstream carries — free
+  /// compression metadata that roi::RoiMetadata ships to the edge.
+  std::vector<std::uint8_t> skip;
 
   [[nodiscard]] std::size_t bytes() const { return data.size(); }
 };
@@ -200,6 +204,7 @@ class Encoder {
     video::Frame recon;
     int base_qp = 0;
     int skipped_mbs = 0;
+    std::vector<std::uint8_t> skip;  ///< per-mb emitted SKIP flags
   };
 
   /// QP-independent per-frame state of an inter frame: the SKIP decision
@@ -250,8 +255,9 @@ class Encoder {
       const;
   [[nodiscard]] std::vector<std::uint8_t> emit_inter_trial(
       const PreparedInter& prep, const InterPlan& plan) const;
-  [[nodiscard]] int count_skips(const PreparedInter& prep,
-                                const InterPlan& plan) const;
+  [[nodiscard]] std::vector<std::uint8_t> skip_map(const PreparedInter& prep,
+                                                   const InterPlan& plan)
+      const;
   [[nodiscard]] Trial run_inter_trial(const InterPlan& plan, int base_qp,
                                       const QpOffsetMap* offsets) const;
   [[nodiscard]] Trial run_intra_trial(const video::Frame& src, int base_qp,
@@ -272,10 +278,12 @@ class Encoder {
 
   /// Finalizes the frame: PSNR against reference_ (which must already
   /// hold this frame's reconstruction), codec-state bookkeeping, obs.
-  /// `motion` is the CODED field (InterPlan::eff_motion for inter).
+  /// `motion` is the CODED field (InterPlan::eff_motion for inter);
+  /// `skip` the emitted per-mb SKIP flags (inter only, may be empty).
   EncodedFrame finish_frame(std::vector<std::uint8_t> data, int base_qp,
                             FrameType type, const MotionField* motion,
-                            const video::Frame& src, int skipped_mbs = 0);
+                            const video::Frame& src,
+                            std::vector<std::uint8_t> skip = {});
 
   /// Cached metric handles (see set_obs); all null when unobserved.
   struct ObsHandles {

@@ -30,7 +30,8 @@ DiveAgent::DiveAgent(DiveConfig config, codec::EncoderConfig encoder_config,
       extractor_(config.foreground),
       qp_assigner_(config.qp),
       bandwidth_(config.bandwidth),
-      tracker_(config.tracker) {
+      tracker_(config.tracker),
+      gate_(config.roi_gate, server_.get()) {
   if (config_.obs != nullptr) {
     encoder_.set_obs(config_.obs);
     uplink_->set_obs(config_.obs);
@@ -110,6 +111,22 @@ FrameOutcome DiveAgent::process_frame(const video::Frame& frame,
   }
   outcome.base_qp = encoded.base_qp;
 
+  // Compressed-domain RoI sidecar: free codec metadata (coded MV field +
+  // SKIP flags) plus the FE hulls, serialized into the metadata lane.
+  // Its bytes ride the uplink with the frame — they count against the
+  // bandwidth budget, while the video bitstream stays byte-identical.
+  roi::RoiMetadata meta;
+  std::vector<std::uint8_t> sidecar;
+  if (config_.roi_metadata) {
+    DIVE_OBS_SPAN(span, obs, "agent.roi_metadata", obs::kTrackAgent);
+    meta = roi::from_encoded(encoded, frame.width(), frame.height());
+    for (const auto& region : last_fg_.regions)
+      roi::add_region(meta, region.hull, region.mean_mv);
+    sidecar = meta.serialize();
+    span.arg("bytes", static_cast<long long>(sidecar.size()));
+  }
+  const std::size_t upload_bytes = encoded.bytes() + sidecar.size();
+
   const util::SimTime ready =
       capture_time + config_.latencies.analysis + config_.latencies.encode;
   if (obs != nullptr) {
@@ -133,20 +150,26 @@ FrameOutcome DiveAgent::process_frame(const video::Frame& frame,
   net::TransmitResult tx;
   {
     DIVE_OBS_SPAN(span, obs, "agent.transmit", obs::kTrackAgent);
-    tx = uplink_->transmit_with_timeout(static_cast<double>(encoded.bytes()),
+    tx = uplink_->transmit_with_timeout(static_cast<double>(upload_bytes),
                                         ready);
     span.arg("delivered", tx.delivered ? 1 : 0);
   }
   if (tx.delivered) {
     need_resync_ = false;
-    outcome.bytes_sent = encoded.bytes();
+    outcome.bytes_sent = upload_bytes;
     outcome.offloaded = true;
-    bandwidth_.add_transmission(static_cast<double>(encoded.bytes()),
+    bandwidth_.add_transmission(static_cast<double>(upload_bytes),
                                 tx.started, tx.sent_complete);
     edge::InferenceResult inference;
     {
       DIVE_OBS_SPAN(span, obs, "agent.edge_infer", obs::kTrackAgent);
-      inference = server_->process(encoded.data, tx.arrival);
+      if (config_.roi_metadata) {
+        inference = gate_.process(encoded.data, &meta, tx.arrival,
+                                  &last_plan_);
+        span.arg("gated", last_plan_.gated ? 1 : 0);
+      } else {
+        inference = server_->process(encoded.data, tx.arrival);
+      }
     }
     last_detections_ = inference.detections;
     outcome.detections = inference.detections;
@@ -154,9 +177,21 @@ FrameOutcome DiveAgent::process_frame(const video::Frame& frame,
     if (obs != nullptr) {
       obs->metrics.counter("agent.offloaded").add();
       obs->metrics.counter("agent.bytes_sent", "bytes")
-          .add(static_cast<std::int64_t>(encoded.bytes()));
+          .add(static_cast<std::int64_t>(upload_bytes));
       obs->metrics.distribution("agent.response_ms", "ms")
           .add(util::to_millis(outcome.response_time));
+      if (config_.roi_metadata) {
+        auto& m = obs->metrics;
+        m.counter("roi.sidecar_bytes", "bytes")
+            .add(static_cast<std::int64_t>(sidecar.size()));
+        m.counter(last_plan_.gated ? "roi.gated_frames" : "roi.full_frames")
+            .add();
+        m.distribution("roi.pixel_fraction", "ratio")
+            .add(last_plan_.pixel_fraction);
+        m.distribution("roi.coverage", "ratio").add(last_plan_.coverage);
+        m.gauge("roi.propagated_boxes", "count")
+            .set(static_cast<double>(gate_.stats().propagated_boxes));
+      }
     }
     return outcome;
   }

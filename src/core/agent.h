@@ -20,6 +20,8 @@
 #include "edge/server.h"
 #include "geom/pinhole_camera.h"
 #include "net/uplink.h"
+#include "roi/gate.h"
+#include "roi/metadata.h"
 
 namespace dive::obs {
 struct ObsContext;
@@ -36,6 +38,12 @@ struct DiveConfig {
   AgentLatencies latencies;
   double fps = 12.0;
   bool enable_offline_tracking = true;  ///< Fig. 13 ablation switch
+  /// Ship the compressed-domain RoI sidecar (MV field + SKIP flags +
+  /// foreground hulls) with every upload and gate edge inference on it
+  /// through roi::RoiGate. Sidecar bytes count against the bandwidth
+  /// budget; the video bitstream is byte-identical on or off.
+  bool roi_metadata = false;
+  roi::RoiGateConfig roi_gate;  ///< gating policy (only with roi_metadata)
   std::uint64_t seed = 7;
   /// Encoder worker lanes (motion search + macroblock loop). Applied to
   /// the encoder config unless that already names a count. 0 defers to
@@ -81,6 +89,13 @@ class DiveAgent final : public AnalyticsScheme {
   }
   [[nodiscard]] int last_background_delta() const { return last_delta_; }
 
+  /// RoI gating state of the most recent offloaded frame (only
+  /// meaningful with DiveConfig::roi_metadata).
+  [[nodiscard]] const roi::GatePlan& last_gate_plan() const {
+    return last_plan_;
+  }
+  [[nodiscard]] const roi::RoiGate& gate() const { return gate_; }
+
  private:
   DiveConfig config_;
   codec::Encoder encoder_;
@@ -93,6 +108,8 @@ class DiveAgent final : public AnalyticsScheme {
   QpAssigner qp_assigner_;
   BandwidthEstimator bandwidth_;
   OfflineTracker tracker_;
+  roi::RoiGate gate_;  ///< wraps server_; used only with roi_metadata
+  roi::GatePlan last_plan_;
 
   edge::DetectionList last_detections_;
   PreprocessResult last_pre_;

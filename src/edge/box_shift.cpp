@@ -1,0 +1,38 @@
+#include "edge/box_shift.h"
+
+namespace dive::edge {
+
+DetectionList shift_by_mean_mv(const DetectionList& previous,
+                               const codec::MotionField& field, int width,
+                               int height, const BoxShiftOptions& options) {
+  DetectionList out;
+  out.reserve(previous.size());
+  for (const auto& det : previous) {
+    geom::Vec2 mean{};
+    int n = 0;
+    if (!field.empty()) {
+      for (int row = 0; row < field.mb_rows; ++row) {
+        for (int col = 0; col < field.mb_cols; ++col) {
+          const geom::Vec2 center = field.mb_center(col, row);
+          if (det.box.contains(center)) {
+            mean += field.at(col, row).as_vec2();
+            ++n;
+          }
+        }
+      }
+    }
+    if (n > 0) mean = mean / static_cast<double>(n);
+
+    Detection moved = det;
+    moved.box = det.box.shifted(mean).clipped(width, height);
+    moved.confidence *= options.confidence_decay;
+    const double original = det.box.area();
+    if (original <= 0.0 ||
+        moved.box.area() < options.min_area_keep * original)
+      continue;
+    out.push_back(moved);
+  }
+  return out;
+}
+
+}  // namespace dive::edge

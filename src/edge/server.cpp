@@ -35,9 +35,13 @@ InferenceResult EdgeServer::process(std::span<const std::uint8_t> data,
 
 DetectionList EdgeServer::decode_and_detect(
     std::span<const std::uint8_t> data) {
-  const codec::DecodedFrame decoded = decoder_.decode(data);
+  return detector_.detect(decode(data).frame);
+}
+
+codec::DecodedFrame EdgeServer::decode(std::span<const std::uint8_t> data) {
+  codec::DecodedFrame decoded = decoder_.decode(data);
   if (obs_ != nullptr) obs_->metrics.counter("edge.decodes").add();
-  return detector_.detect(decoded.frame);
+  return decoded;
 }
 
 util::SimTime EdgeServer::inference_jitter(std::uint64_t frame_index) const {

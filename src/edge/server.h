@@ -59,6 +59,17 @@ class EdgeServer {
   /// timing itself and pairs the result with inference_jitter().
   DetectionList decode_and_detect(std::span<const std::uint8_t> data);
 
+  /// Decodes an uploaded frame, advancing the decoder reference state,
+  /// without detecting and without the latency model. RoI gating decodes
+  /// through this and then drives the detector itself on masked frames.
+  codec::DecodedFrame decode(std::span<const std::uint8_t> data);
+
+  /// Consumes one value from the sequential jitter stream — exactly what
+  /// process() does internally for its k-th call. A gating front-end that
+  /// replaces process() calls this once per frame so the (seed, k)
+  /// pairing, and thus every downstream timestamp, is unchanged.
+  util::SimTime take_jitter() { return inference_jitter(processed_++); }
+
   /// Inference jitter of the k-th frame — a pure function of (seed, k),
   /// uniform in [-inference_jitter_ms, +inference_jitter_ms]. See the
   /// determinism contract above.

@@ -73,6 +73,7 @@ std::unique_ptr<core::AnalyticsScheme> make_scheme(
       cfg.fps = clip.fps;
       cfg.qp.fixed_delta = options.fixed_delta;
       cfg.enable_offline_tracking = options.enable_offline_tracking;
+      cfg.roi_metadata = options.roi_metadata;
       cfg.seed = options.seed;
       cfg.obs = options.obs;
       return std::make_unique<core::DiveAgent>(cfg, enc_cfg, clip.camera,

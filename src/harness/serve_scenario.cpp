@@ -5,11 +5,16 @@
 #include <utility>
 
 #include "codec/encoder.h"
+#include "core/foreground_extractor.h"
 #include "core/offline_tracker.h"
+#include "core/preprocess.h"
 #include "data/dataset.h"
 #include "edge/detector.h"
 #include "edge/evaluator.h"
+#include "harness/experiment.h"
 #include "net/bandwidth.h"
+#include "roi/metadata.h"
+#include "util/rng.h"
 
 namespace dive::harness {
 
@@ -20,6 +25,23 @@ ServeScenarioOptions default_serve_options() {
   opt.node.scheduler.batch_window = util::from_millis(4.0);
   opt.node.admission.max_queue = 4;
   opt.node.session.deadline = util::from_millis(400.0);
+  // Gate tuned for the scenario's reduced-resolution clips: 32 px tiles
+  // and a one-tile halo would each cover a third of a 192x112 frame, and
+  // the foreground extractor's 8 px hull padding already provides the
+  // border margin a halo exists for. Parallax deviation from the median
+  // MV is coarser at this scale, hence the higher motion threshold.
+  opt.node.session.roi_gate.tile_px = 16;
+  opt.node.session.roi_gate.halo_tiles = 0;
+  opt.node.session.roi_gate.motion_deviation = 12;
+  // The horizon band (on by default) catches appearing far-field
+  // objects, so the rotating stripe only backstops mid-frame surprises
+  // and can be sparse.
+  opt.node.session.roi_gate.scan_stripes = 8;
+  // CI's differential job runs the label twice, DIVE_ROI_METADATA=0 and
+  // =1, so every default-options scenario is exercised with the lane in
+  // both states on every dispatch leg. Tests that pin roi_metadata
+  // explicitly are unaffected.
+  opt.roi_metadata = env_int("DIVE_ROI_METADATA", 0) != 0;
   return opt;
 }
 
@@ -31,6 +53,10 @@ struct AgentState {
   const data::Clip* clip = nullptr;
   int clip_index = 0;
   std::unique_ptr<codec::Encoder> encoder;
+  /// RoI metadata lane only: hull extraction mirroring the full DiVE
+  /// agent (preprocess for ego-motion correction, then foreground hulls).
+  std::unique_ptr<core::Preprocessor> preprocessor;
+  core::ForegroundExtractor extractor;
   /// Most recent detections the agent physically holds, advanced by MOT
   /// on fallback frames.
   edge::DetectionList belief;
@@ -53,6 +79,8 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioOptions& options) {
   spec.focal_px = 403.0 * options.width / 512.0;
   spec.clip_count = std::max(1, options.clip_pool);
   spec.frames_per_clip = options.frames_per_session;
+  spec.stop_and_go_fraction = options.stop_and_go_fraction;
+  spec.turning_fraction = options.turning_fraction;
   spec.seed = options.seed;
   std::vector<data::Clip> pool;
   pool.reserve(static_cast<std::size_t>(spec.clip_count));
@@ -84,7 +112,13 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioOptions& options) {
     enc_cfg.width = options.width;
     enc_cfg.height = options.height;
     enc_cfg.gop_length = 48;
+    enc_cfg.threads = options.encoder_threads;
     agent.encoder = std::make_unique<codec::Encoder>(enc_cfg);
+    if (options.roi_metadata) {
+      agent.preprocessor = std::make_unique<core::Preprocessor>(
+          core::PreprocessConfig{},
+          util::Rng(options.seed).fork(static_cast<std::uint64_t>(i)).seed());
+    }
     agent.outcome.resize(static_cast<std::size_t>(options.frames_per_session));
     agent.offloaded.assign(
         static_cast<std::size_t>(options.frames_per_session), false);
@@ -123,6 +157,8 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioOptions& options) {
                 inbox.begin() + static_cast<std::ptrdiff_t>(popped));
   };
 
+  long total_sidecar_bytes = 0;
+
   // Global capture order: per-session phase offsets spread arrivals
   // inside each frame period (and make capture times unique), so the
   // (frame, session) double loop IS time order.
@@ -143,13 +179,30 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioOptions& options) {
       codec::EncodedFrame encoded = agent.encoder->encode(
           image, options.base_qp, nullptr, motion.empty() ? nullptr : &motion);
 
+      // RoI metadata lane: sidecar rides the uplink with the bitstream,
+      // so its bytes count against the same bandwidth budget.
+      std::vector<std::uint8_t> sidecar;
+      if (options.roi_metadata) {
+        const core::PreprocessResult pre =
+            agent.preprocessor->run(motion, agent.clip->camera);
+        const core::ForegroundResult fg =
+            agent.extractor.extract(pre, agent.clip->camera);
+        roi::RoiMetadata meta =
+            roi::from_encoded(encoded, options.width, options.height);
+        for (const auto& region : fg.regions)
+          roi::add_region(meta, region.hull, region.mean_mv);
+        sidecar = meta.serialize();
+        total_sidecar_bytes += static_cast<long>(sidecar.size());
+      }
+
       const util::SimTime ready =
           capture + options.latencies.analysis + options.latencies.encode;
       const net::TransmitResult tx =
           node.session(static_cast<std::uint32_t>(s))
               .uplink()
-              .transmit_with_timeout(static_cast<double>(encoded.bytes()),
-                                     ready);
+              .transmit_with_timeout(
+                  static_cast<double>(encoded.bytes() + sidecar.size()),
+                  ready);
 
       bool fallback = false;
       if (!tx.delivered) {
@@ -162,6 +215,7 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioOptions& options) {
         job.capture_time = capture;
         job.arrival = tx.arrival;
         job.data = std::move(encoded.data);
+        job.roi_metadata = std::move(sidecar);
         fallback = node.submit(std::move(job)) !=
                    serve::AdmissionVerdict::kAdmit;
       }
@@ -194,6 +248,7 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioOptions& options) {
 
   ServeScenarioResult result;
   edge::ApEvaluator all_eval;
+  edge::ApEvaluator state_eval[3];
   for (int s = 0; s < options.sessions; ++s) {
     const AgentState& agent = agents[static_cast<std::size_t>(s)];
     const serve::SessionCounters& counters =
@@ -206,6 +261,10 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioOptions& options) {
           truths[static_cast<std::size_t>(agent.clip_index)][fi];
       session_eval.add_frame(agent.outcome[fi], truth);
       all_eval.add_frame(agent.outcome[fi], truth);
+      const auto state =
+          static_cast<std::size_t>(agent.clip->frames[fi].motion_state);
+      state_eval[state].add_frame(agent.outcome[fi], truth);
+      ++result.frames_by_state[state];
       if (agent.offloaded[fi]) ++offloaded;
     }
 
@@ -242,6 +301,16 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioOptions& options) {
   result.mean_wait_ms = agg.wait_ms.mean();
   result.mean_batch = agg.batch_size.mean();
   result.mean_queue_depth = agg.queue_depth.mean();
+  for (int st = 0; st < 3; ++st) {
+    if (result.frames_by_state[st] > 0)
+      result.map_by_state[st] = state_eval[st].map();
+  }
+  result.gated = agg.gated;
+  result.full_inference = agg.full_inference;
+  result.propagated_boxes = agg.propagated_boxes;
+  result.sidecar_bytes = total_sidecar_bytes;
+  result.mean_gate_work = agg.gate_work.mean();
+  result.mean_gated_pixel_fraction = agg.gate_pixel_fraction.mean();
   result.metrics = node.metrics();
   return result;
 }

@@ -32,15 +32,28 @@ struct ServeScenarioOptions {
   int frames_per_session = 48;
   /// Distinct synthetic clips; session i plays clip (i % clip_pool).
   int clip_pool = 2;
+  /// Trajectory profile mix of the clip pool (see data::DatasetSpec).
+  /// Force 1.0 / 0.0 to pin every clip to one ego-motion scenario.
+  double stop_and_go_fraction = 0.25;
+  double turning_fraction = 0.2;
   /// Reduced resolution (multiples of 16) keeps 64-session sweeps fast.
   int width = 192;
   int height = 112;
   int base_qp = 28;
+  /// Encoder worker threads per agent (0 = hardware threads, 1 = serial).
+  /// Encoded bytes are bit-identical either way — the gated-determinism
+  /// suite sweeps this to prove it holds through the RoI lane too.
+  int encoder_threads = 0;
   double mbps = 2.0;  ///< per-agent uplink rate
   util::SimTime head_timeout = util::from_millis(350.0);
   util::SimTime propagation_delay = util::from_millis(10.0);
   core::AgentLatencies latencies;
   bool enable_offline_tracking = true;
+  /// RoI metadata lane: every agent ships the compressed-domain sidecar
+  /// (coded MV field + SKIP flags + foreground hulls) with each frame —
+  /// its bytes ride the uplink — and the node infers through the
+  /// per-session roi::RoiGate. Gate policy: node.session.roi_gate.
+  bool roi_metadata = false;
   serve::ServeNodeConfig node;
   std::uint64_t seed = 99;
   /// Optional observability context attached to the node (per-session
@@ -84,6 +97,20 @@ struct ServeScenarioResult {
   long dropped_deadline = 0;
   long dropped_uplink = 0;
   long mot = 0;
+
+  /// Accuracy by ego-motion state, indexed by data::MotionState
+  /// (0 = static / stop-and-go, 1 = straight, 2 = turning); -1 when the
+  /// state never occurred.
+  double map_by_state[3] = {-1.0, -1.0, -1.0};
+  long frames_by_state[3] = {0, 0, 0};
+
+  // RoI gating (all zero when the metadata lane is off).
+  long gated = 0;              ///< completed frames inferred tile-gated
+  long full_inference = 0;     ///< sidecar frames that ran full-frame
+  long propagated_boxes = 0;   ///< background boxes carried by MV shift
+  long sidecar_bytes = 0;      ///< total metadata bytes sent over uplinks
+  double mean_gate_work = 0.0; ///< scheduler work fraction, sidecar frames
+  double mean_gated_pixel_fraction = 0.0;  ///< gated frames only
 
   /// The node's metrics, for table output.
   serve::ServeMetrics metrics;

@@ -1,0 +1,216 @@
+#include "roi/metadata.h"
+
+#include <cmath>
+
+namespace dive::roi {
+namespace {
+
+constexpr std::uint8_t kMagic = 0x52;  // 'R'
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kFlagMotion = 0x01;
+constexpr std::uint8_t kFlagSkip = 0x02;
+
+// Sanity bounds while parsing untrusted bytes: reject before allocating.
+constexpr int kMaxMbDim = 1 << 12;
+constexpr std::size_t kMaxRegions = 1 << 16;
+constexpr std::size_t kMaxHullPoints = 1 << 16;
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+void put_svarint(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_varint(out, zigzag(v));
+}
+
+/// Strict cursor over the wire bytes; every read can fail.
+struct Reader {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (pos >= bytes.size()) {
+      ok = false;
+      return 0;
+    }
+    return bytes[pos++];
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = u8();
+      if (!ok) return 0;
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    ok = false;  // overlong encoding
+    return 0;
+  }
+
+  std::int64_t svarint() { return unzigzag(varint()); }
+};
+
+}  // namespace
+
+HullPoint HullPoint::from_vec2(geom::Vec2 p) {
+  return {static_cast<std::int32_t>(std::llround(p.x * (1 << kHullFracBits))),
+          static_cast<std::int32_t>(std::llround(p.y * (1 << kHullFracBits)))};
+}
+
+std::vector<geom::Vec2> RoiRegion::hull_px() const {
+  std::vector<geom::Vec2> out;
+  out.reserve(hull.size());
+  for (const auto& p : hull) out.push_back(p.as_vec2());
+  return out;
+}
+
+codec::MotionField RoiMetadata::motion_field() const {
+  codec::MotionField field(mb_cols, mb_rows);
+  if (has_motion()) field.mvs = mvs;
+  return field;
+}
+
+std::vector<std::uint8_t> RoiMetadata::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.push_back(kMagic);
+  out.push_back(kVersion);
+  put_varint(out, static_cast<std::uint64_t>(mb_cols));
+  put_varint(out, static_cast<std::uint64_t>(mb_rows));
+
+  std::uint8_t flags = 0;
+  if (!mvs.empty()) flags |= kFlagMotion;
+  if (!skip.empty()) flags |= kFlagSkip;
+  out.push_back(flags);
+
+  if (!mvs.empty()) {
+    for (const auto& mv : mvs) {
+      put_svarint(out, mv.dx);
+      put_svarint(out, mv.dy);
+    }
+  }
+  if (!skip.empty()) {
+    // Bit-packed, LSB-first within each byte.
+    std::uint8_t acc = 0;
+    int used = 0;
+    for (const std::uint8_t s : skip) {
+      if (s != 0) acc |= static_cast<std::uint8_t>(1 << used);
+      if (++used == 8) {
+        out.push_back(acc);
+        acc = 0;
+        used = 0;
+      }
+    }
+    if (used > 0) out.push_back(acc);
+  }
+
+  put_varint(out, regions.size());
+  for (const auto& region : regions) {
+    put_svarint(out, region.mean_mv.dx);
+    put_svarint(out, region.mean_mv.dy);
+    put_varint(out, region.hull.size());
+    // Delta-coded vertices: convex hulls walk the contour, so deltas are
+    // small and the varints short.
+    HullPoint prev{};
+    for (const auto& p : region.hull) {
+      put_svarint(out, p.x - prev.x);
+      put_svarint(out, p.y - prev.y);
+      prev = p;
+    }
+  }
+  return out;
+}
+
+std::optional<RoiMetadata> RoiMetadata::parse(
+    std::span<const std::uint8_t> bytes) {
+  Reader r{bytes};
+  if (r.u8() != kMagic || r.u8() != kVersion || !r.ok) return std::nullopt;
+
+  RoiMetadata meta;
+  const std::uint64_t cols = r.varint();
+  const std::uint64_t rows = r.varint();
+  if (!r.ok || cols > kMaxMbDim || rows > kMaxMbDim) return std::nullopt;
+  meta.mb_cols = static_cast<int>(cols);
+  meta.mb_rows = static_cast<int>(rows);
+  const std::size_t mb_count = static_cast<std::size_t>(cols) * rows;
+
+  const std::uint8_t flags = r.u8();
+  if (!r.ok || (flags & ~(kFlagMotion | kFlagSkip)) != 0) return std::nullopt;
+
+  if ((flags & kFlagMotion) != 0) {
+    meta.mvs.resize(mb_count);
+    for (auto& mv : meta.mvs) {
+      mv.dx = static_cast<int>(r.svarint());
+      mv.dy = static_cast<int>(r.svarint());
+    }
+  }
+  if ((flags & kFlagSkip) != 0) {
+    meta.skip.resize(mb_count, 0);
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < mb_count; ++i) {
+      const int used = static_cast<int>(i % 8);
+      if (used == 0) acc = r.u8();
+      meta.skip[i] = (acc >> used) & 1;
+    }
+  }
+  if (!r.ok) return std::nullopt;
+
+  const std::uint64_t region_count = r.varint();
+  if (!r.ok || region_count > kMaxRegions) return std::nullopt;
+  meta.regions.resize(region_count);
+  for (auto& region : meta.regions) {
+    region.mean_mv.dx = static_cast<int>(r.svarint());
+    region.mean_mv.dy = static_cast<int>(r.svarint());
+    const std::uint64_t points = r.varint();
+    if (!r.ok || points > kMaxHullPoints) return std::nullopt;
+    region.hull.resize(points);
+    HullPoint prev{};
+    for (auto& p : region.hull) {
+      p.x = prev.x + static_cast<std::int32_t>(r.svarint());
+      p.y = prev.y + static_cast<std::int32_t>(r.svarint());
+      prev = p;
+    }
+  }
+  if (!r.ok || r.pos != bytes.size()) return std::nullopt;
+  return meta;
+}
+
+RoiMetadata from_encoded(const codec::EncodedFrame& encoded, int width,
+                         int height) {
+  RoiMetadata meta;
+  meta.mb_cols = width / codec::kMacroblockSize;
+  meta.mb_rows = height / codec::kMacroblockSize;
+  if (!encoded.motion.empty()) meta.mvs = encoded.motion.mvs;
+  if (!encoded.skip.empty()) {
+    meta.skip = encoded.skip;
+    for (auto& s : meta.skip) s = s != 0 ? 1 : 0;  // normalize to the wire
+  }
+  return meta;
+}
+
+void add_region(RoiMetadata& meta, const std::vector<geom::Vec2>& hull,
+                geom::Vec2 mean_mv_px) {
+  RoiRegion region;
+  region.hull.reserve(hull.size());
+  for (const auto& p : hull) region.hull.push_back(HullPoint::from_vec2(p));
+  region.mean_mv.dx = static_cast<int>(std::llround(mean_mv_px.x * 2.0));
+  region.mean_mv.dy = static_cast<int>(std::llround(mean_mv_px.y * 2.0));
+  meta.regions.push_back(std::move(region));
+}
+
+}  // namespace dive::roi

@@ -12,10 +12,16 @@ void SessionCounters::merge(const SessionCounters& other) {
   dropped_deadline += other.dropped_deadline;
   dropped_uplink += other.dropped_uplink;
   completed += other.completed;
+  gated += other.gated;
+  full_inference += other.full_inference;
+  fresh_boxes += other.fresh_boxes;
+  propagated_boxes += other.propagated_boxes;
   queue_depth.merge(other.queue_depth);
   batch_size.merge(other.batch_size);
   wait_ms.merge(other.wait_ms);
   e2e_ms.merge(other.e2e_ms);
+  gate_work.merge(other.gate_work);
+  gate_pixel_fraction.merge(other.gate_pixel_fraction);
 }
 
 SessionCounters& ServeMetrics::session(std::uint32_t id) {
@@ -91,6 +97,18 @@ void ServeMetrics::publish(obs::MetricsRegistry& registry) const {
   registry.gauge("serve.batch_size_mean").set(total.batch_size.mean());
   registry.distribution("serve.wait_ms", "ms").assign(total.wait_ms);
   registry.distribution("serve.e2e_ms", "ms").assign(total.e2e_ms);
+
+  // RoI gating. Published only when at least one sidecar frame completed,
+  // so roi-off runs export a registry identical to the pre-RoI layer.
+  if (total.gated + total.full_inference > 0) {
+    registry.counter("roi.gated_frames").set(total.gated);
+    registry.counter("roi.full_frames").set(total.full_inference);
+    registry.counter("roi.fresh_boxes").set(total.fresh_boxes);
+    registry.counter("roi.propagated_boxes").set(total.propagated_boxes);
+    registry.gauge("roi.work_mean").set(total.gate_work.mean());
+    registry.gauge("roi.gated_pixel_fraction_mean")
+        .set(total.gate_pixel_fraction.mean());
+  }
 
   // Cross-session spread: one sample per session, so p99 answers "how
   // unfair is the node under load" without exploding the name space.

@@ -22,10 +22,19 @@ struct SessionCounters {
   long dropped_uplink = 0;    ///< agent side: head-of-line timeout
   long completed = 0;         ///< results delivered back to the agent
 
+  // RoI gating (frames that carried sidecar metadata; zero when the RoI
+  // lane is off, in which case none of these appear in published output).
+  long gated = 0;             ///< frames inferred through tile gating
+  long full_inference = 0;    ///< sidecar frames that still ran full-frame
+  long fresh_boxes = 0;       ///< detector outputs on gated frames
+  long propagated_boxes = 0;  ///< background boxes carried by MV shift
+
   util::RunningStats queue_depth;  ///< session queue depth at admission
   util::RunningStats batch_size;   ///< batch each frame was served in
   util::SampleSet wait_ms;         ///< edge arrival -> inference start
   util::SampleSet e2e_ms;          ///< capture -> result at the agent
+  util::RunningStats gate_work;    ///< scheduler work fraction (RoI frames)
+  util::RunningStats gate_pixel_fraction;  ///< gated frames only
 
   [[nodiscard]] long dropped() const {
     return dropped_queue + dropped_deadline;

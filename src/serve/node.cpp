@@ -65,10 +65,25 @@ AdmissionVerdict ServeNode::submit(FrameJob job) {
                           {"depth", static_cast<long long>(s.queue_depth())}});
   }
   s.on_admitted();
+
+  // RoI lane: parse the sidecar and plan the gate now, in admission order
+  // (per-session frame order), so the scheduler can price the job and the
+  // gate's refresh cadence never depends on dispatch interleaving. An
+  // unparsable sidecar degrades to a full-frame plan.
+  PendingPayload pending;
+  pending.data = std::move(job.data);
+  if (!job.roi_metadata.empty()) {
+    pending.roi = true;
+    pending.meta = roi::RoiMetadata::parse(job.roi_metadata);
+    const roi::RoiMetadata* m = pending.meta ? &*pending.meta : nullptr;
+    pending.plan = s.gate().plan(m, m != nullptr ? m->width() : 0,
+                                 m != nullptr ? m->height() : 0);
+  }
+  const double work = pending.roi ? pending.plan.work : 1.0;
   payloads_.emplace(std::make_pair(job.session_id, job.frame_index),
-                    std::move(job.data));
+                    std::move(pending));
   scheduler_.submit(
-      {job.session_id, job.frame_index, job.capture_time, job.arrival});
+      {job.session_id, job.frame_index, job.capture_time, job.arrival, work});
   return verdict;
 }
 
@@ -92,15 +107,37 @@ std::vector<JobResult> ServeNode::realize(std::vector<Batch> batches) {
       r.infer_start = batch.start;
       r.infer_done = batch.done;
       r.batch_size = batch.jobs.size();
+      r.work = job.work;
       // Per-session jitter stream, indexed by the agent's frame number:
       // invariant under batching and other sessions' load.
       r.result_at_agent = batch.done +
                           s.server().inference_jitter(job.frame_index) +
                           config_.server.downlink_delay;
-      r.detections = s.server().decode_and_detect(payload->second);
+      SessionCounters& counters = metrics_.session(job.session_id);
+      PendingPayload& pp = payload->second;
+      if (pp.roi) {
+        // Per-session dispatch order equals frame order (the scheduler
+        // keeps arrivals sorted and per-session arrivals are monotonic),
+        // so the gate's held-box state evolves identically for every
+        // worker count and batch interleaving.
+        const roi::RoiMetadata* m = pp.meta ? &*pp.meta : nullptr;
+        roi::GatedDetections gated = s.gate().run(pp.data, m, pp.plan);
+        r.gated = gated.gated;
+        r.detections = std::move(gated.detections);
+        if (gated.gated) {
+          ++counters.gated;
+          counters.fresh_boxes += gated.fresh;
+          counters.propagated_boxes += gated.propagated;
+          counters.gate_pixel_fraction.add(gated.pixel_fraction);
+        } else {
+          ++counters.full_inference;
+        }
+        counters.gate_work.add(pp.plan.work);
+      } else {
+        r.detections = s.server().decode_and_detect(pp.data);
+      }
       payloads_.erase(payload);
 
-      SessionCounters& counters = metrics_.session(job.session_id);
       ++counters.completed;
       counters.batch_size.add(static_cast<double>(batch.jobs.size()));
       counters.wait_ms.add(util::to_millis(batch.start - job.arrival));

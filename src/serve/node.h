@@ -20,10 +20,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "edge/server.h"
 #include "obs/obs.h"
+#include "roi/gate.h"
+#include "roi/metadata.h"
 #include "serve/admission.h"
 #include "serve/metrics.h"
 #include "serve/scheduler.h"
@@ -46,6 +49,10 @@ struct FrameJob {
   util::SimTime capture_time = 0;
   util::SimTime arrival = 0;
   std::vector<std::uint8_t> data;
+  /// Serialized roi::RoiMetadata sidecar (empty = no RoI lane: the frame
+  /// is inferred full-frame exactly as before the RoI subsystem). Its
+  /// bytes already rode the uplink with the frame.
+  std::vector<std::uint8_t> roi_metadata;
 };
 
 /// A completed inference on its way back to the agent.
@@ -59,6 +66,8 @@ struct JobResult {
   util::SimTime infer_done = 0;       ///< batch service end
   util::SimTime result_at_agent = 0;  ///< after jitter + downlink
   std::size_t batch_size = 1;
+  bool gated = false;  ///< inferred through the session's RoI gate
+  double work = 1.0;   ///< inference cost fraction the scheduler charged
 };
 
 class ServeNode {
@@ -94,6 +103,16 @@ class ServeNode {
   void set_obs(obs::ObsContext* obs) { obs_ = obs; }
 
  private:
+  /// An admitted job awaiting dispatch: bitstream plus (when the frame
+  /// carried a sidecar) the parsed metadata and the gate plan computed
+  /// at submission, which priced the scheduler job.
+  struct PendingPayload {
+    std::vector<std::uint8_t> data;
+    bool roi = false;  ///< frame arrived with a sidecar lane
+    std::optional<roi::RoiMetadata> meta;  ///< nullopt: sidecar unparsable
+    roi::GatePlan plan;
+  };
+
   std::vector<JobResult> realize(std::vector<Batch> batches);
 
   ServeNodeConfig config_;
@@ -103,8 +122,7 @@ class ServeNode {
   obs::ObsContext* obs_ = nullptr;
   std::vector<std::unique_ptr<Session>> sessions_;
   /// Payloads of admitted jobs awaiting dispatch.
-  std::map<std::pair<std::uint32_t, std::uint64_t>, std::vector<std::uint8_t>>
-      payloads_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, PendingPayload> payloads_;
 };
 
 }  // namespace dive::serve

@@ -57,6 +57,27 @@ util::SimTime Scheduler::batch_service_time(std::size_t n) const {
          inference_latency_ + amortized;
 }
 
+util::SimTime Scheduler::batch_service_time_for(
+    const std::vector<ScheduledJob>& jobs) const {
+  if (jobs.empty()) return 0;
+  double max_work = 0.0;
+  double total_work = 0.0;
+  for (const ScheduledJob& job : jobs) {
+    max_work = std::max(max_work, job.work);
+    total_work += job.work;
+  }
+  // max_work leads a full (scaled) pass; the rest amortizes at its own
+  // fraction. All-1 work reduces integer-exactly to batch_service_time(n):
+  // llround(1.0 * L) == L and total - max == n - 1 exactly.
+  const auto lead = static_cast<util::SimTime>(
+      std::llround(max_work * static_cast<double>(inference_latency_)));
+  const auto amortized = static_cast<util::SimTime>(std::llround(
+      (total_work - max_work) * config_.batch_marginal *
+      static_cast<double>(inference_latency_)));
+  return static_cast<util::SimTime>(jobs.size()) * decode_latency_ + lead +
+         amortized;
+}
+
 std::vector<Batch> Scheduler::run_until(util::SimTime now) {
   std::vector<Batch> out;
   while (!pending_.empty()) {
@@ -92,9 +113,9 @@ std::vector<Batch> Scheduler::run_until(util::SimTime now) {
     Batch batch;
     batch.worker = w;
     batch.start = start;
-    batch.done = start + batch_service_time(take);
     batch.jobs.assign(pending_.begin(),
                       pending_.begin() + static_cast<std::ptrdiff_t>(take));
+    batch.done = start + batch_service_time_for(batch.jobs);
     pending_.erase(pending_.begin(),
                    pending_.begin() + static_cast<std::ptrdiff_t>(take));
     free_at_[static_cast<std::size_t>(w)] = batch.done;

@@ -8,6 +8,16 @@
 // is the incremental cost of each extra frame relative to a full pass
 // (1.0 = no amortization, GPU-style batching sits well below 1).
 //
+// RoI-gated work. A job may carry a `work` fraction < 1 (the gated pixel
+// fraction from roi::RoiGate): the batch then costs
+//     n * decode_latency + inference_latency * (max_work
+//                          + batch_marginal * (total_work - max_work))
+// — the heaviest member leads the pass and every other member amortizes
+// at its own fraction. With all work == 1 this reduces, integer-exactly,
+// to the formula above, so schedules without gating are byte-identical
+// to the pre-RoI scheduler. The cost depends only on the work multiset,
+// never on member order, preserving determinism.
+//
 // Batch formation. Pending jobs are kept in (arrival, session, frame)
 // order. The batch window opens when the earliest pending job meets the
 // earliest free worker; it closes `batch_window` later or as soon as
@@ -49,6 +59,9 @@ struct ScheduledJob {
   std::uint64_t frame_index = 0;  ///< per-session, assigned by the agent
   util::SimTime capture_time = 0;
   util::SimTime arrival = 0;  ///< last byte reached the edge
+  /// Inference cost scale in (0, 1]: 1 = full-frame, < 1 = RoI-gated
+  /// (roi::GatePlan::work, the floored gated pixel fraction).
+  double work = 1.0;
 };
 
 /// One dispatched batch: `jobs` in queue order, serviced on `worker`
@@ -79,8 +92,14 @@ class Scheduler {
   /// across the pool at the amortized batch rate.
   [[nodiscard]] util::SimTime estimated_completion(util::SimTime arrival) const;
 
-  /// Worker time a batch of n frames consumes.
+  /// Worker time a batch of n full-frame (work == 1) jobs consumes.
   [[nodiscard]] util::SimTime batch_service_time(std::size_t n) const;
+
+  /// Worker time for a concrete job set, honoring per-job work
+  /// fractions. Equals batch_service_time(jobs.size()) when every job
+  /// has work == 1.
+  [[nodiscard]] util::SimTime batch_service_time_for(
+      const std::vector<ScheduledJob>& jobs) const;
 
   [[nodiscard]] std::size_t pending() const { return pending_.size(); }
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }

@@ -18,6 +18,7 @@
 
 #include "edge/server.h"
 #include "net/uplink.h"
+#include "roi/gate.h"
 #include "util/sim_clock.h"
 
 namespace dive::serve {
@@ -26,6 +27,9 @@ struct SessionConfig {
   /// End-to-end deadline (capture -> result at the agent) the admission
   /// controller enforces; a frame predicted to miss it is not admitted.
   util::SimTime deadline = util::from_millis(400.0);
+  /// Gating policy of the per-session roi::RoiGate (active only for
+  /// frames submitted with sidecar metadata).
+  roi::RoiGateConfig roi_gate;
 };
 
 class Session {
@@ -42,6 +46,11 @@ class Session {
   }
   [[nodiscard]] edge::EdgeServer& server() { return server_; }
   [[nodiscard]] const edge::EdgeServer& server() const { return server_; }
+  /// Per-session RoI gate wrapping this session's server. The node plans
+  /// through it at submission and runs it at dispatch, both in
+  /// per-session frame order, so gated results are schedule-independent.
+  [[nodiscard]] roi::RoiGate& gate() { return gate_; }
+  [[nodiscard]] const roi::RoiGate& gate() const { return gate_; }
 
   /// Frames currently admitted but not yet dispatched to a worker — the
   /// quantity the admission controller bounds.
@@ -54,6 +63,7 @@ class Session {
   SessionConfig config_;
   std::shared_ptr<net::Uplink> uplink_;
   edge::EdgeServer server_;
+  roi::RoiGate gate_;  ///< wraps server_ (declared after it)
   std::size_t queued_ = 0;
 };
 

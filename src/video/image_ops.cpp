@@ -5,18 +5,26 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "video/sse_kernels.h"
+
 namespace dive::video {
 
+std::uint64_t plane_sse(const Plane& a, const Plane& b) {
+  if (a.width != b.width || a.height != b.height)
+    throw std::invalid_argument("plane_sse: dimension mismatch");
+  if (a.data.empty()) return 0;
+  return sse_u8_fn()(a.data.data(), b.data.data(), a.data.size());
+}
+
 double plane_mse(const Plane& a, const Plane& b) {
+  // Integer SSE then one division: squared byte differences are exact in
+  // u64, so this is bit-identical to the old double accumulation (which
+  // was itself exact — the sum stays far below 2^53) on every kernel.
   if (a.width != b.width || a.height != b.height)
     throw std::invalid_argument("plane_mse: dimension mismatch");
   if (a.data.empty()) return 0.0;
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.data.size(); ++i) {
-    const double d = static_cast<double>(a.data[i]) - b.data[i];
-    acc += d * d;
-  }
-  return acc / static_cast<double>(a.data.size());
+  return static_cast<double>(plane_sse(a, b)) /
+         static_cast<double>(a.data.size());
 }
 
 namespace {

@@ -10,6 +10,11 @@
 
 namespace dive::video {
 
+/// Integer sum of squared differences between two planes of identical
+/// dimensions, accumulated by the dispatched SIMD kernel
+/// (video/sse_kernels.h) — exact on every backend.
+std::uint64_t plane_sse(const Plane& a, const Plane& b);
+
 /// Mean squared error between two planes of identical dimensions.
 double plane_mse(const Plane& a, const Plane& b);
 

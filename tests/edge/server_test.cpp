@@ -108,6 +108,45 @@ TEST(EdgeServer, InferRawBypassesCodec) {
   ASSERT_EQ(dets.size(), 1u);
 }
 
+TEST(EdgeServer, ProcessAndSplitPathConsumeJitterIdentically) {
+  // Regression for the serving/gating split: a layer that replaces
+  // process() with decode_and_detect() + take_jitter() (serve::) or with
+  // the RoI gate's decode + infer path must see the SAME jitter for the
+  // k-th frame the server handles. Drive two same-seeded servers down
+  // the two paths over a mixed I/P sequence and require identical
+  // detections, identical jitter, and identical counter advance.
+  codec::Encoder enc_a({.width = 128, .height = 64});
+  codec::Encoder enc_b({.width = 128, .height = 64});
+  ServerConfig cfg;
+  cfg.inference_jitter_ms = 5.0;
+  EdgeServer monolithic(cfg, 21);
+  EdgeServer split(cfg, 21);
+  const util::SimTime nominal =
+      cfg.decode_latency + cfg.inference_latency + cfg.downlink_delay;
+  for (std::uint64_t k = 0; k < 6; ++k) {
+    const auto frame = frame_with_car(128, 64);
+    const auto bytes_a = enc_a.encode(frame, 8).data;
+    const auto bytes_b = enc_b.encode(frame, 8).data;
+    ASSERT_EQ(bytes_a, bytes_b);
+
+    const auto pure = split.inference_jitter(k);  // pure: consumes nothing
+    const auto result = monolithic.process(bytes_a, 0);
+    const auto dets = split.decode_and_detect(bytes_b);
+    const auto taken = split.take_jitter();
+
+    EXPECT_EQ(taken, pure) << "frame " << k;
+    EXPECT_EQ(result.result_at_agent, nominal + taken) << "frame " << k;
+    ASSERT_EQ(dets.size(), result.detections.size()) << "frame " << k;
+    for (std::size_t i = 0; i < dets.size(); ++i) {
+      EXPECT_EQ(dets[i].cls, result.detections[i].cls);
+      EXPECT_EQ(dets[i].box.x0, result.detections[i].box.x0);
+      EXPECT_EQ(dets[i].confidence, result.detections[i].confidence);
+    }
+    EXPECT_EQ(split.frames_processed(), monolithic.frames_processed())
+        << "frame " << k;
+  }
+}
+
 TEST(EdgeServer, StatefulAcrossInterFrames) {
   codec::Encoder enc({.width = 64, .height = 32});
   EdgeServer server(ServerConfig{}, 5);

@@ -1,0 +1,126 @@
+// Differential verification of the RoiMetadata wire format
+// (roi/metadata.h): parse(serialize(m)) == m must hold BIT-EXACTLY for
+// everything the agent can produce — random motion fields, SKIP-heavy
+// frames, empty and degenerate hulls — and serialize must be a pure
+// function of the value (re-serializing the parse yields identical
+// bytes). The sidecar rides the uplink next to the golden-checksummed
+// bitstream; a single unstable byte here would silently change
+// bandwidth accounting between runs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/encoder.h"
+#include "roi/metadata.h"
+#include "util/rng.h"
+#include "video/frame.h"
+
+namespace dive::roi {
+namespace {
+
+RoiMetadata random_metadata(std::uint64_t seed, bool skip_heavy) {
+  util::Rng rng(seed);
+  RoiMetadata m;
+  m.mb_cols = rng.uniform_int(1, 14);
+  m.mb_rows = rng.uniform_int(1, 9);
+  const std::size_t mbs =
+      static_cast<std::size_t>(m.mb_cols) * static_cast<std::size_t>(m.mb_rows);
+  m.mvs.resize(mbs);
+  m.skip.resize(mbs);
+  for (std::size_t i = 0; i < mbs; ++i) {
+    m.mvs[i] = {rng.uniform_int(-64, 64), rng.uniform_int(-64, 64)};
+    m.skip[i] = static_cast<std::uint8_t>(
+        skip_heavy ? (rng.uniform_int(0, 9) > 0) : rng.uniform_int(0, 1));
+  }
+  const int regions = rng.uniform_int(0, 4);
+  for (int r = 0; r < regions; ++r) {
+    RoiRegion region;
+    region.mean_mv = {rng.uniform_int(-32, 32), rng.uniform_int(-32, 32)};
+    const int verts = rng.uniform_int(3, 9);
+    for (int v = 0; v < verts; ++v)
+      region.hull.push_back({rng.uniform_int(-100, 4000),
+                             rng.uniform_int(-100, 2500)});
+    m.regions.push_back(std::move(region));
+  }
+  return m;
+}
+
+void expect_roundtrip(const RoiMetadata& m) {
+  const std::vector<std::uint8_t> bytes = m.serialize();
+  const auto parsed = RoiMetadata::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, m);
+  // Serialization is canonical: the parse re-serializes byte-identically.
+  EXPECT_EQ(parsed->serialize(), bytes);
+}
+
+TEST(RoiMetadataRoundtrip, RandomMotionFields) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed)
+    expect_roundtrip(random_metadata(seed, false));
+}
+
+TEST(RoiMetadataRoundtrip, SkipHeavyFrames) {
+  for (std::uint64_t seed = 100; seed <= 120; ++seed)
+    expect_roundtrip(random_metadata(seed, true));
+}
+
+TEST(RoiMetadataRoundtrip, EmptyAndDegenerateShapes) {
+  // Intra sidecar: grid only, no field, no skips, no regions.
+  RoiMetadata intra;
+  intra.mb_cols = 12;
+  intra.mb_rows = 7;
+  expect_roundtrip(intra);
+
+  // Degenerate hulls (0 / 1 / 2 vertices) must survive verbatim — the
+  // gate ignores them, but the wire format carries what it is given.
+  RoiMetadata degenerate;
+  degenerate.mb_cols = 2;
+  degenerate.mb_rows = 2;
+  degenerate.regions.push_back({{}, {3, -1}});
+  degenerate.regions.push_back({{{160, 320}}, {0, 0}});
+  degenerate.regions.push_back({{{0, 0}, {-16, 512}}, {-7, 7}});
+  expect_roundtrip(degenerate);
+
+  // Zero-size grid (nothing to ship) still round-trips.
+  expect_roundtrip(RoiMetadata{});
+}
+
+TEST(RoiMetadataRoundtrip, FromEncodedFrames) {
+  // Real encoder output: the intra frame ships an empty field; the inter
+  // frame ships the coded MVs and skip flags, which must round-trip and
+  // match what the encoder reported.
+  codec::Encoder enc({.width = 96, .height = 48});
+  video::Frame a(96, 48);
+  util::Rng rng(7);
+  for (auto& px : a.y.data)
+    px = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const codec::EncodedFrame intra = enc.encode(a, 20);
+  const RoiMetadata mi = from_encoded(intra, 96, 48);
+  EXPECT_FALSE(mi.has_motion());
+  EXPECT_EQ(mi.width(), 96);
+  expect_roundtrip(mi);
+
+  const codec::EncodedFrame inter = enc.encode(a, 20);
+  const RoiMetadata mp = from_encoded(inter, 96, 48);
+  ASSERT_TRUE(mp.has_motion());
+  EXPECT_EQ(mp.mvs.size(), inter.motion.mvs.size());
+  EXPECT_EQ(mp.skip, inter.skip);
+  expect_roundtrip(mp);
+}
+
+TEST(RoiMetadataRoundtrip, TruncatedBytesRejected) {
+  const RoiMetadata m = random_metadata(42, false);
+  const std::vector<std::uint8_t> bytes = m.serialize();
+  // Every proper prefix either fails to parse or (if it happens to be
+  // self-delimiting) parses to something that is NOT m — no silent
+  // truncation into a matching value.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const auto parsed =
+        RoiMetadata::parse(std::span(bytes.data(), cut));
+    if (parsed.has_value()) EXPECT_NE(*parsed, m) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace dive::roi
