@@ -1,0 +1,81 @@
+// Shared entry-point shim for the wire-format fuzz targets.
+//
+// With clang the targets link -fsanitize=fuzzer (DIVE_LIBFUZZER defined)
+// and libFuzzer provides main(). With any other compiler this header
+// provides a standalone main() that replays corpus files — and, for each
+// file, a deterministic set of single-bit-flip mutants — so the 60 s CI
+// smoke run and local repros work without clang. Crash repro:
+//   ./fuzz_bitstream_decode path/to/input            (single file)
+//   ./fuzz_bitstream_decode fuzz/corpus/bitstream    (whole directory)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#ifndef DIVE_LIBFUZZER
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dive::fuzz {
+
+inline std::vector<std::uint8_t> read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// Replays one input plus 64 deterministic single-bit-flip mutants
+/// (positions stride the whole buffer), approximating one libFuzzer
+/// mutation generation without libFuzzer.
+inline void run_with_mutants(std::vector<std::uint8_t> bytes) {
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  if (bytes.empty()) return;
+  const std::size_t total_bits = bytes.size() * 8;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const std::size_t bit = (i * 2654435761u) % total_bits;
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+}  // namespace dive::fuzz
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::size_t inputs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind('-', 0) == 0) continue;  // ignore libFuzzer-style flags
+    const fs::path p(arg);
+    if (fs::is_directory(p)) {
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::directory_iterator(p))
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      std::sort(files.begin(), files.end());
+      for (const auto& f : files) {
+        dive::fuzz::run_with_mutants(dive::fuzz::read_file(f));
+        ++inputs;
+      }
+    } else if (fs::is_regular_file(p)) {
+      dive::fuzz::run_with_mutants(dive::fuzz::read_file(p));
+      ++inputs;
+    } else {
+      std::fprintf(stderr, "fuzz driver: no such input: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  std::printf("fuzz driver: %zu corpus inputs x 65 variants, no crash\n",
+              inputs);
+  return 0;
+}
+
+#endif  // !DIVE_LIBFUZZER

@@ -79,11 +79,20 @@ std::uint32_t BitReader::get_ue() {
   }
   std::uint64_t code = 1;
   for (int i = 0; i < zeros; ++i) code = (code << 1) | (get_bit() ? 1U : 0U);
+  // A 32-zero prefix admits 33-bit codes; anything whose value does not
+  // fit uint32 is hostile input, not a real code — reject instead of
+  // silently truncating.
+  if (code - 1 > 0xFFFFFFFFULL)
+    throw BitstreamError("BitReader: ue code exceeds 32 bits");
   return static_cast<std::uint32_t>(code - 1);
 }
 
 std::int32_t BitReader::get_se() {
   const std::uint32_t mapped = get_ue();
+  // mapped == UINT32_MAX would wrap (mapped + 1) to 0 below; the signed
+  // domain tops out one code earlier, so reject it as malformed.
+  if (mapped == 0xFFFFFFFFU)
+    throw BitstreamError("BitReader: se code out of range");
   if (mapped % 2 == 1) return static_cast<std::int32_t>((mapped + 1) / 2);
   return -static_cast<std::int32_t>(mapped / 2);
 }

@@ -69,6 +69,8 @@ DecodedFrame Decoder::decode(std::span<const std::uint8_t> data) {
     throw BitstreamError("Decoder: bad magic");
   const FrameType type = br.get_bit() ? FrameType::kInter : FrameType::kIntra;
   const int base_qp = static_cast<int>(br.get_bits(6));
+  if (base_qp < kMinQp || base_qp > kMaxQp)
+    throw BitstreamError("Decoder: base QP out of range");
   const int mb_cols = static_cast<int>(br.get_ue());
   const int mb_rows = static_cast<int>(br.get_ue());
   if (mb_cols <= 0 || mb_rows <= 0 || mb_cols > 1024 || mb_rows > 1024)
@@ -110,11 +112,26 @@ DecodedFrame Decoder::decode(std::span<const std::uint8_t> data) {
         int qp = prev_qp;
         int cbp = 0;
         if (!skip) {
-          mv.dx = pred_mv.dx + br.get_se();
-          mv.dy = pred_mv.dy + br.get_se();
-          qp = prev_qp + br.get_se();
-          if (qp < kMinQp || qp > kMaxQp)
+          // Accumulate prediction + delta in 64 bits: hostile deltas are
+          // near INT32_MAX and would overflow int (UB) before the
+          // plausibility check below could reject them.
+          const std::int64_t dx64 =
+              static_cast<std::int64_t>(pred_mv.dx) + br.get_se();
+          const std::int64_t dy64 =
+              static_cast<std::int64_t>(pred_mv.dy) + br.get_se();
+          // Half-pel units: no real vector points further than one full
+          // frame away. Keeps half_pel_sample coordinate math far from
+          // int overflow.
+          if (dx64 < -2 * width || dx64 > 2 * width || dy64 < -2 * height ||
+              dy64 > 2 * height)
+            throw BitstreamError("Decoder: implausible motion vector");
+          mv.dx = static_cast<int>(dx64);
+          mv.dy = static_cast<int>(dy64);
+          const std::int64_t qp64 =
+              static_cast<std::int64_t>(prev_qp) + br.get_se();
+          if (qp64 < kMinQp || qp64 > kMaxQp)
             throw BitstreamError("Decoder: QP out of range");
+          qp = static_cast<int>(qp64);
           prev_qp = qp;
           cbp = static_cast<int>(br.get_bits(6));
         }
@@ -144,10 +161,11 @@ DecodedFrame Decoder::decode(std::span<const std::uint8_t> data) {
                                  pred, coded ? &levels : nullptr, qp);
         }
       } else {
-        const int qp_delta = br.get_se();
-        const int qp = prev_qp + qp_delta;
-        if (qp < kMinQp || qp > kMaxQp)
+        const std::int64_t qp64 =
+            static_cast<std::int64_t>(prev_qp) + br.get_se();
+        if (qp64 < kMinQp || qp64 > kMaxQp)
           throw BitstreamError("Decoder: QP out of range");
+        const int qp = static_cast<int>(qp64);
         prev_qp = qp;
 
         struct B {
@@ -174,6 +192,18 @@ DecodedFrame Decoder::decode(std::span<const std::uint8_t> data) {
   reference_ = out.frame;
   has_reference_ = true;
   return out;
+}
+
+std::optional<DecodedFrame> Decoder::try_decode(
+    std::span<const std::uint8_t> data, std::string* error) {
+  // decode() commits reference_/has_reference_ only after the whole frame
+  // parsed, so catching here leaves the decoder exactly as it was.
+  try {
+    return decode(data);
+  } catch (const BitstreamError& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
 }
 
 }  // namespace dive::codec

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 
 #include "codec/types.h"
 #include "video/frame.h"
@@ -27,6 +29,14 @@ class Decoder {
   /// Decodes one encoded frame. Throws BitstreamError on malformed input
   /// (including an inter frame arriving before any reference exists).
   DecodedFrame decode(std::span<const std::uint8_t> data);
+
+  /// Total-function variant for untrusted bytes: never throws, never
+  /// invokes UB, allocation bounded by the 1024x1024-macroblock geometry
+  /// cap. Returns nullopt on any malformed input (optionally reporting
+  /// why via `error`); the decoder state is untouched on failure, so a
+  /// session survives a corrupt frame and resumes on the next good one.
+  std::optional<DecodedFrame> try_decode(std::span<const std::uint8_t> data,
+                                         std::string* error = nullptr);
 
   [[nodiscard]] bool has_reference() const { return has_reference_; }
   [[nodiscard]] const video::Frame& reference() const { return reference_; }

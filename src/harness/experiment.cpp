@@ -163,7 +163,8 @@ RunResult run_experiment(SchemeKind kind, const std::vector<data::Clip>& clips,
   result.mean_kbytes_per_frame = bytes_stats.mean();
   result.mean_base_qp = qp_stats.mean();
   result.offload_fraction =
-      frames > 0 ? static_cast<double>(offloaded) / frames : 0.0;
+      frames > 0 ? static_cast<double>(offloaded) / static_cast<double>(frames)
+                 : 0.0;
   result.frames = frames;
   for (int s = 0; s < 3; ++s) {
     result.ap_car_by_state[static_cast<std::size_t>(s)] =

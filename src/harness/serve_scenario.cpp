@@ -294,7 +294,8 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioOptions& options) {
   result.mot = result.frames - agg.completed;
   result.offload_fraction =
       result.frames > 0
-          ? static_cast<double>(agg.completed) / result.frames
+          ? static_cast<double>(agg.completed) /
+                static_cast<double>(result.frames)
           : 0.0;
   result.mean_e2e_ms = agg.e2e_ms.mean();
   result.p95_e2e_ms = agg.e2e_ms.empty() ? 0.0 : agg.e2e_ms.quantile(0.95);

@@ -58,8 +58,12 @@ void append_args(std::string& out,
   out += "\"args\":{";
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (i > 0) out += ",";
-    out += "\"" + json_escape(args[i].first) +
-           "\":" + std::to_string(args[i].second);
+    // Separate appends: the operator+ temporary chain trips a GCC 12
+    // -Wrestrict false positive (PR 105329) under -Werror.
+    out += "\"";
+    out += json_escape(args[i].first);
+    out += "\":";
+    out += std::to_string(args[i].second);
   }
   out += "}";
 }

@@ -51,19 +51,48 @@ struct Reader {
     return bytes[pos++];
   }
 
+  /// Canonical LEB128: at most 10 bytes, the 10th byte carries only bit
+  /// 64 (reject silent truncation), and a terminating zero byte is only
+  /// legal as the sole byte (reject overlong encodings like 80 00).
+  /// Canonicality makes encoding a bijection, which is what lets the
+  /// sidecar digest check trust serialize(parse(bytes)) == bytes — a
+  /// re-encoded spoof of an accepted sidecar is byte-identical or
+  /// rejected, never a digest collision.
   std::uint64_t varint() {
     std::uint64_t v = 0;
     for (int shift = 0; shift < 64; shift += 7) {
       const std::uint8_t b = u8();
       if (!ok) return 0;
+      if (shift == 63 && (b & 0x7F) > 1) {
+        ok = false;  // bits beyond 64 — value overflows uint64
+        return 0;
+      }
       v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
-      if ((b & 0x80) == 0) return v;
+      if ((b & 0x80) == 0) {
+        if (shift > 0 && b == 0) {
+          ok = false;  // overlong (non-canonical) encoding
+          return 0;
+        }
+        return v;
+      }
     }
-    ok = false;  // overlong encoding
+    ok = false;  // > 10 bytes
     return 0;
   }
 
   std::int64_t svarint() { return unzigzag(varint()); }
+
+  /// svarint bounded to int32 — the wire stores int32 quantities, and
+  /// accepting wider values would truncate on store and then overflow
+  /// (UB) when serialize() re-derives deltas in int arithmetic.
+  std::int32_t svarint32() {
+    const std::int64_t v = svarint();
+    if (v < INT32_MIN || v > INT32_MAX) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<std::int32_t>(v);
+  }
 };
 
 }  // namespace
@@ -128,8 +157,10 @@ std::vector<std::uint8_t> RoiMetadata::serialize() const {
     // small and the varints short.
     HullPoint prev{};
     for (const auto& p : region.hull) {
-      put_svarint(out, p.x - prev.x);
-      put_svarint(out, p.y - prev.y);
+      // int64 deltas: two int32 vertices can sit 2^32 apart, which would
+      // overflow (UB) in int arithmetic.
+      put_svarint(out, static_cast<std::int64_t>(p.x) - prev.x);
+      put_svarint(out, static_cast<std::int64_t>(p.y) - prev.y);
       prev = p;
     }
   }
@@ -155,8 +186,8 @@ std::optional<RoiMetadata> RoiMetadata::parse(
   if ((flags & kFlagMotion) != 0) {
     meta.mvs.resize(mb_count);
     for (auto& mv : meta.mvs) {
-      mv.dx = static_cast<int>(r.svarint());
-      mv.dy = static_cast<int>(r.svarint());
+      mv.dx = r.svarint32();
+      mv.dy = r.svarint32();
     }
   }
   if ((flags & kFlagSkip) != 0) {
@@ -167,6 +198,11 @@ std::optional<RoiMetadata> RoiMetadata::parse(
       if (used == 0) acc = r.u8();
       meta.skip[i] = (acc >> used) & 1;
     }
+    // Unused high bits of the final byte must be zero padding, or two
+    // distinct byte strings would parse to the same metadata and the
+    // digest check could be spoofed.
+    const std::size_t tail = mb_count % 8;
+    if (tail != 0 && (acc >> tail) != 0) return std::nullopt;
   }
   if (!r.ok) return std::nullopt;
 
@@ -174,15 +210,21 @@ std::optional<RoiMetadata> RoiMetadata::parse(
   if (!r.ok || region_count > kMaxRegions) return std::nullopt;
   meta.regions.resize(region_count);
   for (auto& region : meta.regions) {
-    region.mean_mv.dx = static_cast<int>(r.svarint());
-    region.mean_mv.dy = static_cast<int>(r.svarint());
+    region.mean_mv.dx = r.svarint32();
+    region.mean_mv.dy = r.svarint32();
     const std::uint64_t points = r.varint();
     if (!r.ok || points > kMaxHullPoints) return std::nullopt;
     region.hull.resize(points);
+    // Deltas are int64 on the wire (two int32 endpoints can be 2^32
+    // apart); each accumulated vertex must land back in int32.
     HullPoint prev{};
     for (auto& p : region.hull) {
-      p.x = prev.x + static_cast<std::int32_t>(r.svarint());
-      p.y = prev.y + static_cast<std::int32_t>(r.svarint());
+      const std::int64_t x = static_cast<std::int64_t>(prev.x) + r.svarint();
+      const std::int64_t y = static_cast<std::int64_t>(prev.y) + r.svarint();
+      if (x < INT32_MIN || x > INT32_MAX || y < INT32_MIN || y > INT32_MAX)
+        return std::nullopt;
+      p.x = static_cast<std::int32_t>(x);
+      p.y = static_cast<std::int32_t>(y);
       prev = p;
     }
   }

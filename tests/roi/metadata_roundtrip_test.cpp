@@ -122,5 +122,119 @@ TEST(RoiMetadataRoundtrip, TruncatedBytesRejected) {
   }
 }
 
+// --- Varint hardening: the parser accepts exactly the canonical wire
+// language, so encoding is a bijection and the sidecar digest check
+// cannot be spoofed by re-encoding the same value differently. ---
+
+std::vector<std::uint8_t> header_plus(std::vector<std::uint8_t> tail) {
+  // Magic + version, then caller-provided bytes.
+  std::vector<std::uint8_t> bytes = {0x52, 0x01};
+  bytes.insert(bytes.end(), tail.begin(), tail.end());
+  return bytes;
+}
+
+TEST(RoiMetadataHardening, OverlongVarintRejected) {
+  // mb_cols = 1 encoded non-canonically as 81 00 ("1 + continuation,
+  // then an empty terminator"). The value is representable in one byte,
+  // so the two-byte spelling must be rejected, not silently accepted.
+  const auto bytes = header_plus({0x81, 0x00, /*rows*/ 0x01, /*flags*/ 0x00,
+                                  /*regions*/ 0x00});
+  EXPECT_FALSE(RoiMetadata::parse(bytes).has_value());
+
+  // Same value, canonical spelling: accepted.
+  const auto canonical =
+      header_plus({0x01, 0x01, 0x00, 0x00});
+  EXPECT_TRUE(RoiMetadata::parse(canonical).has_value());
+}
+
+TEST(RoiMetadataHardening, ElevenByteVarintRejected) {
+  // Ten continuation bytes then a terminator: one byte past the longest
+  // legal (10-byte) encoding of a uint64.
+  std::vector<std::uint8_t> tail(11, 0x80);
+  tail.back() = 0x01;
+  tail.insert(tail.end(), {0x01, 0x00, 0x00});
+  EXPECT_FALSE(RoiMetadata::parse(header_plus(tail)).has_value());
+}
+
+TEST(RoiMetadataHardening, TenByteOverflowRejected) {
+  // A maximal 10-byte varint whose 10th byte carries more than bit 64:
+  // the value does not fit uint64, so accepting it would silently
+  // truncate (and two spellings would collide).
+  std::vector<std::uint8_t> tail(9, 0xFF);
+  tail.push_back(0x02);  // bit 65
+  tail.insert(tail.end(), {0x01, 0x00, 0x00});
+  EXPECT_FALSE(RoiMetadata::parse(header_plus(tail)).has_value());
+}
+
+TEST(RoiMetadataHardening, NonZeroSkipPaddingRejected) {
+  // 3x1 grid with skip flags: 3 payload bits leave 5 padding bits in the
+  // single skip byte. Nonzero padding parses to the same value as zero
+  // padding — a digest-colliding second spelling — so it must reject.
+  RoiMetadata m;
+  m.mb_cols = 3;
+  m.mb_rows = 1;
+  m.skip = {1, 0, 1};
+  std::vector<std::uint8_t> bytes = m.serialize();
+  const auto baseline = RoiMetadata::parse(bytes);
+  ASSERT_TRUE(baseline.has_value());
+
+  // The skip byte is the last-but-one (region count 0 trails it).
+  const std::size_t skip_byte = bytes.size() - 2;
+  ASSERT_EQ(bytes[skip_byte], 0x05u);  // LSB-first: 1,0,1
+  bytes[skip_byte] |= 0x20;            // flip a padding bit
+  EXPECT_FALSE(RoiMetadata::parse(bytes).has_value());
+}
+
+TEST(RoiMetadataHardening, OutOfInt32MotionRejected) {
+  // mean_mv.dx = 2^32 as a zigzag varint: in-range for the varint layer
+  // but wider than the int32 the wire schema stores — must reject, not
+  // truncate (truncation would re-serialize to different bytes and break
+  // the fix-point).
+  const auto bytes = header_plus({/*cols*/ 0x01, /*rows*/ 0x01,
+                                  /*flags*/ 0x00, /*regions*/ 0x01,
+                                  // zigzag(2^32) = 2^33 varint-encoded:
+                                  0x80, 0x80, 0x80, 0x80, 0x20,
+                                  /*dy*/ 0x00, /*points*/ 0x00});
+  EXPECT_FALSE(RoiMetadata::parse(bytes).has_value());
+}
+
+TEST(RoiMetadataHardening, HullAccumulationOverflowRejected) {
+  // Two vertices whose deltas accumulate past INT32_MAX: each delta is a
+  // legal varint, but the resulting vertex cannot be represented, so the
+  // parse must reject instead of wrapping.
+  auto zz = [](std::int64_t v) {
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+  };
+  std::vector<std::uint8_t> tail = {/*cols*/ 0x01, /*rows*/ 0x01,
+                                    /*flags*/ 0x00, /*regions*/ 0x01,
+                                    /*mean_mv*/ 0x00, 0x00, /*points*/ 0x02};
+  auto put = [&tail](std::uint64_t v) {
+    while (v >= 0x80) {
+      tail.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    tail.push_back(static_cast<std::uint8_t>(v));
+  };
+  // First vertex at INT32_MAX, second steps +2 past the domain.
+  put(zz(2147483647));  // x0
+  put(zz(0));           // y0
+  put(zz(2));           // dx -> 2^31 + 1, out of range
+  put(zz(0));           // dy
+  EXPECT_FALSE(RoiMetadata::parse(header_plus(tail)).has_value());
+}
+
+TEST(RoiMetadataHardening, AcceptedBytesAreAFixPoint) {
+  // decode -> encode -> decode: for every accepted input in this suite's
+  // random family, serialize(parse(b)) == b byte-for-byte.
+  for (std::uint64_t seed = 300; seed < 320; ++seed) {
+    const std::vector<std::uint8_t> bytes =
+        random_metadata(seed, seed % 2 == 0).serialize();
+    const auto parsed = RoiMetadata::parse(bytes);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->serialize(), bytes) << "seed=" << seed;
+  }
+}
+
 }  // namespace
 }  // namespace dive::roi

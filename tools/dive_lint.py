@@ -1,0 +1,368 @@
+#!/usr/bin/env python3
+"""dive_lint: DiVE's determinism contract as an executable check.
+
+The verification contract (ROADMAP, DESIGN §14) requires that everything
+on the agent→edge reproduction path is a pure function of its inputs:
+the mobile agent and the edge server must agree bit-for-bit on
+reconstructed frames and RoI sidecars, across thread counts, SIMD
+kernels, and batch interleavings. Ambient inputs — wall clocks, global
+RNGs, unordered-container iteration order, reassociated float reductions
+— are exactly the bugs that pass every unit test and then desynchronize
+a serve node. This lint forbids them at the source level:
+
+  wall-clock    std::chrono::{system,steady,high_resolution}_clock and
+                C time APIs outside src/obs/ (the tracer owns wall time;
+                everything else runs on util::SimClock).
+  ambient-rng   rand/srand/std::random_device/std::mt19937* outside
+                src/util/rng.* (randomness flows through seeded
+                util::Rng streams, never process-global state).
+  unordered-iter  iteration over std::unordered_{map,set} in the
+                deterministic directories (src/codec, src/roi,
+                src/serve, src/core) — iteration order is unspecified
+                and varies across libstdc++ versions and hash seeds.
+  float-reduce  order-unspecified float/double reductions (std::reduce,
+                std::transform_reduce, parallel execution policies, omp
+                reductions) in the deterministic directories — float
+                addition does not reassociate.
+
+Escapes, in preference order:
+  1. a `// dive-lint: allow(<rule>)` comment on the offending line;
+  2. a `<rule> <path-prefix>` line in tools/dive_lint_allow.txt for
+     whole-file/directory exemptions (kept deliberately short — every
+     entry is a determinism argument someone must be able to defend).
+
+The scanner is comment- and string-aware: matches inside comments and
+string literals do not count (so this docstring cannot lint itself).
+Exit 0 = clean, 1 = findings, 2 = usage error.
+
+Usage:
+  tools/dive_lint.py --root .            # lint <root>/src (the default)
+  tools/dive_lint.py --root . --list-rules
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Directories (relative to --root) whose code must be bit-deterministic.
+DETERMINISTIC_DIRS = ("src/codec", "src/roi", "src/serve", "src/core")
+
+# Files scanned overall.
+SOURCE_EXTENSIONS = (".cpp", ".h")
+
+ALLOWLIST_FILE = os.path.join("tools", "dive_lint_allow.txt")
+
+ESCAPE_RE = re.compile(r"dive-lint:\s*allow\(([a-z0-9-]+)\)")
+
+
+class Rule:
+    def __init__(self, name, description, pattern, applies, message):
+        self.name = name
+        self.description = description
+        self.pattern = re.compile(pattern)
+        self.applies = applies  # fn(relpath) -> bool
+        self.message = message
+
+
+def in_deterministic_dirs(relpath):
+    return relpath.startswith(DETERMINISTIC_DIRS)
+
+
+def outside(prefix):
+    return lambda relpath: not relpath.startswith(prefix)
+
+
+RULES = [
+    Rule(
+        "wall-clock",
+        "wall-clock reads outside src/obs/ (use util::SimClock)",
+        r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
+        r"|\b(clock_gettime|gettimeofday|localtime|gmtime)\s*\("
+        r"|\bstd::time\s*\(",
+        outside("src/obs/"),
+        "wall-clock read in a simulated-time codebase; only src/obs/ may "
+        "touch real clocks",
+    ),
+    Rule(
+        "ambient-rng",
+        "ambient randomness outside src/util/rng.* (use util::Rng)",
+        r"std::random_device|std::mt19937|std::default_random_engine"
+        r"|\b(rand|srand|random)\s*\(\s*\)",
+        outside("src/util/rng"),
+        "ambient RNG; randomness must flow through seeded util::Rng "
+        "streams (src/util/rng.h)",
+    ),
+    Rule(
+        "float-reduce",
+        "order-unspecified float reductions in deterministic directories",
+        r"std::reduce\s*\(|std::transform_reduce\s*\("
+        r"|std::execution::(par|par_unseq|unseq)"
+        r"|#\s*pragma\s+omp\b[^\n]*reduction",
+        in_deterministic_dirs,
+        "order-unspecified reduction; float accumulation must run in a "
+        "fixed sequential order on deterministic paths",
+    ),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;{()]*>\s*"
+    r"&?\s*(\w+)\s*[;={(,)]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*?:\s*([^)]*)\)")
+UNORDERED_INLINE_RE = re.compile(r"std\s*::\s*unordered_(?:map|set)\b")
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments, string and char literals, preserving line
+    structure and column positions (a crude but honest C++ lexer)."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                m = re.match(r'R"([^(\s\\"]*)\(', text[i:])
+                if m:
+                    state = "raw"
+                    raw_delim = ")" + m.group(1) + '"'
+                    out.append(" " * (len(m.group(0))))
+                    i += len(m.group(0))
+                else:
+                    state = "str"
+                    out.append(" ")
+                    i += 1
+            elif c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == "str":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == "chr":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == "raw":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def load_allowlist(root):
+    """Returns a list of (rule, path_prefix) exemptions."""
+    path = os.path.join(root, ALLOWLIST_FILE)
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                sys.exit(
+                    f"{path}:{lineno}: malformed allowlist entry "
+                    f"(want '<rule> <path-prefix>'): {line!r}"
+                )
+            entries.append((parts[0], parts[1]))
+    return entries
+
+
+def allowed(allowlist, rule, relpath):
+    return any(r == rule and relpath.startswith(p) for r, p in allowlist)
+
+
+def check_unordered_iteration(relpath, stripped_lines):
+    """Per-file heuristic for the unordered-iter rule: collect names
+    declared with an unordered container type, then flag range-fors and
+    explicit iterator walks over them (or over inline unordered
+    expressions)."""
+    findings = []
+    declared = set()
+    for line in stripped_lines:
+        for m in UNORDERED_DECL_RE.finditer(line):
+            declared.add(m.group(1))
+    name_re = (
+        re.compile(r"\b(" + "|".join(map(re.escape, sorted(declared))) + r")\b")
+        if declared
+        else None
+    )
+    for lineno, line in enumerate(stripped_lines, 1):
+        for m in RANGE_FOR_RE.finditer(line):
+            range_expr = m.group(1)
+            if UNORDERED_INLINE_RE.search(range_expr) or (
+                name_re and name_re.search(range_expr)
+            ):
+                findings.append(
+                    (
+                        lineno,
+                        "iteration over std::unordered_{map,set}: order is "
+                        "unspecified; use std::map, a sorted vector, or sort "
+                        "the keys first",
+                    )
+                )
+        if name_re:
+            for name in name_re.findall(line):
+                # .begin()/.cbegin() starts an ordered walk; .end() alone
+                # is just the find()-lookup sentinel and stays legal.
+                if re.search(
+                    re.escape(name) + r"\s*\.\s*c?begin\s*\(", line
+                ):
+                    findings.append(
+                        (
+                            lineno,
+                            f"iterator walk over unordered container "
+                            f"'{name}': order is unspecified",
+                        )
+                    )
+    return findings
+
+
+def lint_file(root, relpath, allowlist):
+    path = os.path.join(root, relpath)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        sys.exit(f"{relpath}: unreadable: {e}")
+
+    raw_lines = text.splitlines()
+    stripped_lines = strip_comments_and_strings(text).splitlines()
+    # Line-level escapes are read from the RAW text (they live in
+    # comments, which the stripper removes).
+    escapes = {}
+    for lineno, line in enumerate(raw_lines, 1):
+        for m in ESCAPE_RE.finditer(line):
+            escapes.setdefault(lineno, set()).add(m.group(1))
+
+    findings = []
+
+    def emit(rule_name, lineno, message):
+        if rule_name in escapes.get(lineno, ()):
+            return
+        if allowed(allowlist, rule_name, relpath):
+            return
+        findings.append(f"{relpath}:{lineno}: {rule_name}: {message}")
+
+    for rule in RULES:
+        if not rule.applies(relpath):
+            continue
+        for lineno, line in enumerate(stripped_lines, 1):
+            if rule.pattern.search(line):
+                emit(rule.name, lineno, rule.message)
+
+    if in_deterministic_dirs(relpath):
+        for lineno, message in check_unordered_iteration(
+            relpath, stripped_lines
+        ):
+            emit("unordered-iter", lineno, message)
+
+    return findings
+
+
+def iter_source_files(root, subdir="src"):
+    base = os.path.join(root, subdir)
+    if not os.path.isdir(base):
+        sys.exit(f"{base}: not a directory (bad --root?)")
+    for dirpath, _dirnames, filenames in os.walk(base):
+        for name in sorted(filenames):
+            if name.endswith(SOURCE_EXTENSIONS):
+                full = os.path.join(dirpath, name)
+                yield os.path.relpath(full, root).replace(os.sep, "/")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument(
+        "--list-rules", action="store_true", help="print the rule set and exit"
+    )
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.name}: {rule.description}")
+        print(
+            "unordered-iter: iteration over std::unordered_{map,set} in "
+            + ", ".join(DETERMINISTIC_DIRS)
+        )
+        return 0
+
+    root = os.path.abspath(args.root)
+    allowlist = load_allowlist(root)
+    all_findings = []
+    files = 0
+    for relpath in iter_source_files(root):
+        files += 1
+        all_findings.extend(lint_file(root, relpath, allowlist))
+
+    if all_findings:
+        print(f"dive_lint: {len(all_findings)} finding(s):", file=sys.stderr)
+        for finding in all_findings:
+            print(f"  {finding}", file=sys.stderr)
+        print(
+            "\nsuppress a deliberate use with '// dive-lint: allow(<rule>)' "
+            f"on the line, or a '<rule> <path>' entry in {ALLOWLIST_FILE}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"dive_lint: {files} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
