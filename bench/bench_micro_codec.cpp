@@ -11,6 +11,9 @@
 //   BENCH_micro_hme.json      hierarchical pyramid search vs. the other
 //                             methods on a synthetic driving pan (time +
 //                             PSNR), plus the SKIP rate on static frames
+//   BENCH_micro_obs.json      observability tax: span site cost with a
+//                             null context / disabled tracer / enabled
+//                             tracer, and the ledger per-frame record
 // Set DIVE_BENCH_RECORDS_ONLY=1 to emit only the records and skip the
 // google-benchmark run (the CI smoke mode).
 #include <benchmark/benchmark.h>
@@ -476,6 +479,120 @@ void emit_hme_record() {
   rec.write();
 }
 
+// Observability overhead: cost of one DIVE_OBS_SPAN at a hot-path call
+// site in its three runtime states — null context (unobserved run),
+// attached-but-disabled tracer, and enabled tracer — plus the frame
+// ledger's per-frame record cost. The enabled variants clear the sink
+// every batch so memory stays bounded; the clear cost amortizes to
+// noise and is part of real periodic-export usage anyway.
+constexpr int kObsBatch = 1 << 12;
+
+void BM_ObsSpanNullContext(benchmark::State& state) {
+  obs::ObsContext* obs = nullptr;
+  for (auto _ : state) {
+    DIVE_OBS_SPAN(span, obs, "codec.encode", obs::kTrackCodec);
+    benchmark::DoNotOptimize(obs);
+  }
+}
+BENCHMARK(BM_ObsSpanNullContext);
+
+void BM_ObsSpanDisabledTracer(benchmark::State& state) {
+  obs::ObsContext ctx;  // tracer default-disabled
+  obs::ObsContext* obs = &ctx;
+  for (auto _ : state) {
+    DIVE_OBS_SPAN(span, obs, "codec.encode", obs::kTrackCodec);
+    benchmark::DoNotOptimize(obs);
+  }
+}
+BENCHMARK(BM_ObsSpanDisabledTracer);
+
+void BM_ObsSpanEnabledTracer(benchmark::State& state) {
+  obs::ObsContext ctx;
+  ctx.tracer.set_enabled(true);
+  obs::ObsContext* obs = &ctx;
+  int n = 0;
+  for (auto _ : state) {
+    DIVE_OBS_SPAN(span, obs, "codec.encode", obs::kTrackCodec);
+    benchmark::DoNotOptimize(obs);
+    if (++n == kObsBatch) {
+      n = 0;
+      ctx.tracer.clear();
+    }
+  }
+}
+BENCHMARK(BM_ObsSpanEnabledTracer);
+
+void BM_ObsLedgerFrame(benchmark::State& state) {
+  obs::FrameLedger ledger;
+  std::uint64_t frame = 0;
+  for (auto _ : state) {
+    const auto ctx = ledger.begin_frame(0, frame, 0, 400000);
+    ledger.stage(ctx, obs::FrameStage::kEncode, 0, 16000);
+    ledger.stage(ctx, obs::FrameStage::kTransmit, 16000, 36000);
+    ledger.stage(ctx, obs::FrameStage::kInference, 46000, 67000);
+    ledger.outcome(ctx, obs::FrameOutcome::kCompleted, 75000);
+    if (++frame % kObsBatch == 0) ledger.clear();
+  }
+}
+BENCHMARK(BM_ObsLedgerFrame);
+
+/// BENCH_micro_obs.json: the observability tax at a hot-path call site.
+/// The headline claims: a null-context span site costs ~nothing (the
+/// pointer test), a disabled tracer stays cheap (one atomic load), and
+/// the enabled cost is the price of opting into a trace — plus the
+/// ledger's full per-frame record cost (mint + 3 stages + outcome).
+void emit_obs_record() {
+  constexpr int kCalls = 200000;
+
+  const auto span_sweep = [&](obs::ObsContext* obs) {
+    for (int i = 0; i < kCalls; ++i) {
+      DIVE_OBS_SPAN(span, obs, "codec.encode", obs::kTrackCodec);
+      benchmark::DoNotOptimize(obs);
+    }
+  };
+
+  const double null_ns = timed_ns(5, [&] { span_sweep(nullptr); }) / kCalls;
+
+  obs::ObsContext disabled;
+  const double disabled_ns =
+      timed_ns(5, [&] { span_sweep(&disabled); }) / kCalls;
+
+  obs::ObsContext enabled;
+  enabled.tracer.set_enabled(true);
+  const double enabled_ns = timed_ns(5, [&] {
+                              enabled.tracer.clear();
+                              span_sweep(&enabled);
+                            }) /
+                            kCalls;
+
+  obs::FrameLedger ledger;
+  const double ledger_ns = timed_ns(5, [&] {
+                             ledger.clear();
+                             for (int i = 0; i < kCalls; ++i) {
+                               const auto ctx = ledger.begin_frame(
+                                   0, static_cast<std::uint64_t>(i), 0,
+                                   400000);
+                               ledger.stage(ctx, obs::FrameStage::kEncode, 0,
+                                            16000);
+                               ledger.stage(ctx, obs::FrameStage::kTransmit,
+                                            16000, 36000);
+                               ledger.stage(ctx, obs::FrameStage::kInference,
+                                            46000, 67000);
+                               ledger.outcome(ctx,
+                                              obs::FrameOutcome::kCompleted,
+                                              75000);
+                             }
+                           }) /
+                           kCalls;
+
+  dive::bench::BenchRecorder rec("micro_obs");
+  rec.add("span.null_context", null_ns, "ns/call");
+  rec.add("span.disabled_tracer", disabled_ns, "ns/call");
+  rec.add("span.enabled_tracer", enabled_ns, "ns/call");
+  rec.add("ledger.frame_record", ledger_ns, "ns/call");
+  rec.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -483,6 +600,7 @@ int main(int argc, char** argv) {
   emit_sse_record();
   emit_overlap_record();
   emit_hme_record();
+  emit_obs_record();
   if (const char* only = std::getenv("DIVE_BENCH_RECORDS_ONLY");
       only != nullptr && *only != '\0' && std::string_view(only) != "0") {
     return 0;

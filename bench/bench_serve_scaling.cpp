@@ -20,6 +20,7 @@
 #include "bench_record.h"
 #include "harness/experiment.h"
 #include "harness/serve_scenario.h"
+#include "obs/obs.h"
 #include "util/table.h"
 
 int main() {
@@ -33,12 +34,24 @@ int main() {
                     "drop_up", "mot", "depth", "batch", "wait_ms", "e2e_ms",
                     "e2e_p95", "mAP"});
 
+  // The largest executed sweep point runs observed: frame ledger +
+  // deterministic sim-clock metric timeline (DESIGN.md §15).
+  int observed_sessions = 1;
+  for (int sessions : {1, 4, 16, 64})
+    if (sessions <= max_sessions) observed_sessions = sessions;
+  obs::ObsContext obs_ctx;
+  obs::MetricsSnapshotter timeline(&obs_ctx.metrics, util::from_millis(250.0));
+
   bench::BenchRecorder recorder("serve_scaling");
   for (int sessions : {1, 4, 16, 64}) {
     if (sessions > max_sessions) break;
     harness::ServeScenarioOptions opt = harness::default_serve_options();
     opt.sessions = sessions;
     opt.frames_per_session = frames;
+    if (sessions == observed_sessions) {
+      opt.obs = &obs_ctx;
+      opt.timeline = &timeline;
+    }
     const harness::ServeScenarioResult r = harness::run_serve_scenario(opt);
     const std::string tag = std::to_string(sessions) + "sessions";
     recorder.add("map." + tag, r.aggregate_map, "mAP");
@@ -61,6 +74,51 @@ int main() {
                    util::TextTable::fmt(r.aggregate_map, 3)});
   }
   table.print(std::cout);
+
+  // Latency attribution from the observed point's frame ledger: what
+  // fraction of each frame's end-to-end budget the stage breakdown
+  // names, and whether every drop / deadline miss carries a cause.
+  {
+    std::printf("\n");
+    timeline
+        .to_table({"serve.submitted", "serve.completed",
+                   "serve.dropped_queue", "serve.dropped_deadline",
+                   "serve.e2e_ms.p99"})
+        .print(std::cout);
+    std::printf("\n");
+    obs_ctx.ledger.stage_table().print(std::cout);
+    std::printf("\n");
+    obs_ctx.ledger.autopsy_table().print(std::cout);
+
+    double attributed = 0.0, e2e = 0.0;
+    long terminal = 0;
+    long autopsied = 0, autopsy_with_cause = 0;
+    for (const obs::FrameRecord& rec : obs_ctx.ledger.records()) {
+      if (rec.outcome == obs::FrameOutcome::kPending) continue;
+      ++terminal;
+      attributed += rec.attributed_ms();
+      e2e += rec.e2e_ms();
+    }
+    for (const obs::FrameLedger::Autopsy& a : obs_ctx.ledger.autopsies()) {
+      ++autopsied;
+      if (a.dominant_ms > 0.0) ++autopsy_with_cause;
+    }
+    const double attribution = e2e > 0.0 ? attributed / e2e : 1.0;
+    const double coverage =
+        autopsied > 0 ? static_cast<double>(autopsy_with_cause) /
+                            static_cast<double>(autopsied)
+                      : 1.0;
+    std::printf(
+        "\nledger (%d sessions): %ld terminal frames, %.1f%% of e2e "
+        "latency attributed to named stages; %ld/%ld autopsied frames "
+        "carry a dominant-stage cause\n",
+        observed_sessions, terminal, 100.0 * attribution, autopsy_with_cause,
+        autopsied);
+    recorder.add("ledger.attribution", attribution, "frac");
+    recorder.add("ledger.autopsy_coverage", coverage, "frac");
+    recorder.add("ledger.timeline_rows",
+                 static_cast<double>(timeline.rows().size()), "count");
+  }
 
   // Determinism spot check: the same seed must reproduce identical
   // metrics (the whole serving layer is event-driven simulated time).

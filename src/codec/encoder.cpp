@@ -197,6 +197,7 @@ MotionField Encoder::analyze_motion(const video::Frame& src) const {
     return {};
   }
   DIVE_OBS_SPAN(span, obs_, "codec.motion_search", obs::kTrackCodec);
+  span.flow(frame_ctx_);
   if (obs_handles_.motion_searches != nullptr)
     obs_handles_.motion_searches->add();
   return motion_with_prefetch(src);
@@ -269,6 +270,7 @@ Encoder::InterPlan Encoder::build_inter_plan(const video::Frame& src,
       static_cast<std::size_t>(mb_cols) * static_cast<std::size_t>(mb_rows);
 
   DIVE_OBS_SPAN(span, obs_, "codec.inter_plan", obs::kTrackCodec);
+  span.flow(frame_ctx_);
 
   InterPlan plan;
   plan.preds.resize(mb_count * kBlocksPerMb);
@@ -335,6 +337,7 @@ Encoder::PreparedInter Encoder::prepare_inter_trial(
     const InterPlan& plan, int base_qp, const QpOffsetMap* offsets) const {
   base_qp = std::clamp(base_qp, kMinQp, kMaxQp);
   DIVE_OBS_SPAN(span, obs_, "codec.inter_trial", obs::kTrackCodec);
+  span.flow(frame_ctx_);
   span.arg("qp", base_qp);
   const int mb_cols = config_.width / kMb;
   const int mb_rows = config_.height / kMb;
@@ -467,6 +470,7 @@ Encoder::Trial Encoder::run_intra_trial(const video::Frame& src, int base_qp,
                                         const QpOffsetMap* offsets) const {
   base_qp = std::clamp(base_qp, kMinQp, kMaxQp);
   DIVE_OBS_SPAN(span, obs_, "codec.intra_trial", obs::kTrackCodec);
+  span.flow(frame_ctx_);
   span.arg("qp", base_qp);
   const int mb_cols = config_.width / kMb;
   const int mb_rows = config_.height / kMb;
@@ -560,6 +564,7 @@ EncodedFrame Encoder::encode(const video::Frame& src, int base_qp,
   if (src.width() != config_.width || src.height() != config_.height)
     throw std::invalid_argument("Encoder::encode: frame size mismatch");
   DIVE_OBS_SPAN(span, obs_, "codec.encode", obs::kTrackCodec);
+  span.flow(frame_ctx_);
   span.arg("base_qp", base_qp);
   const FrameType type = next_frame_type();
   MotionField local;
@@ -602,6 +607,7 @@ EncodedFrame Encoder::encode_to_target(const video::Frame& src,
   if (src.width() != config_.width || src.height() != config_.height)
     throw std::invalid_argument("Encoder::encode_to_target: size mismatch");
   DIVE_OBS_SPAN(span, obs_, "codec.encode_to_target", obs::kTrackCodec);
+  span.flow(frame_ctx_);
   span.arg("target_bytes", static_cast<long long>(target_bytes));
   const FrameType type = next_frame_type();
   MotionField local;

@@ -37,6 +37,7 @@
 #include "codec/motion_search.h"
 #include "codec/quant.h"
 #include "codec/types.h"
+#include "obs/frame_context.h"
 #include "util/async_lane.h"
 #include "util/thread_pool.h"
 #include "video/frame.h"
@@ -170,6 +171,15 @@ class Encoder {
   /// from the calling thread — never from pool workers — so recorded
   /// observations are identical for every thread count.
   void set_obs(obs::ObsContext* obs);
+
+  /// Per-frame causal identity: spans emitted while encoding the next
+  /// frame carry this context's flow id, linking them to the frame's
+  /// uplink/serve/edge spans across tracks. The harness mints one
+  /// context per captured frame; an unminted (default) context leaves
+  /// spans untagged. Plain data — survives DIVE_OBS_DISABLED builds.
+  void set_frame_context(const obs::FrameTraceContext& ctx) {
+    frame_ctx_ = ctx;
+  }
 
   /// Trial accounting of the latest encode_to_target call.
   [[nodiscard]] const RateControlStats& rate_control_stats() const {
@@ -307,6 +317,7 @@ class Encoder {
   MotionSearcher searcher_;
   obs::ObsContext* obs_ = nullptr;
   ObsHandles obs_handles_;
+  obs::FrameTraceContext frame_ctx_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when serial
   video::Frame reference_;
   bool has_reference_ = false;

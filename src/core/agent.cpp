@@ -44,7 +44,17 @@ FrameOutcome DiveAgent::process_frame(const video::Frame& frame,
   FrameOutcome outcome;
   obs::ObsContext* obs = config_.obs;
   if (obs != nullptr) obs->tracer.set_sim_now(capture_time);
+  // Causal identity for this frame (single-agent pipeline = session 0):
+  // encoder/edge spans join its flow, the ledger collects its stages.
+  const std::uint64_t frame_index = frame_seq_++;
+  obs::FrameTraceContext trace_ctx;
+  if (obs != nullptr) {
+    trace_ctx = obs->ledger.begin_frame(0, frame_index, capture_time);
+    encoder_.set_frame_context(trace_ctx);
+    server_->set_frame_context(trace_ctx);
+  }
   DIVE_OBS_SPAN(frame_span, obs, "agent.frame", obs::kTrackAgent);
+  frame_span.flow(trace_ctx);
 
   // 1-2. Motion vectors from the codec, then preprocessing.
   codec::MotionField motion;
@@ -134,7 +144,15 @@ FrameOutcome DiveAgent::process_frame(const video::Frame& frame,
     // on-agent compute interval; the uplink and edge emit their own.
     obs->tracer.span_at("agent.analyze+encode", obs::kTrackAgent,
                         capture_time, ready,
-                        {{"bytes", static_cast<long long>(encoded.bytes())}});
+                        {{"bytes", static_cast<long long>(encoded.bytes())}},
+                        trace_ctx.flow_id());
+    obs->ledger.stage(trace_ctx, obs::FrameStage::kEncode, capture_time,
+                      ready);
+    if (config_.roi_metadata) {
+      // Sidecar serialization is modeled at zero sim latency; the stage
+      // still appears so the breakdown names it (bytes ride the uplink).
+      obs->ledger.stage(trace_ctx, obs::FrameStage::kSidecar, ready, ready);
+    }
     auto& m = obs->metrics;
     m.counter("agent.frames").add();
     m.distribution("agent.eta", "ratio").add(last_pre_.eta);
@@ -151,7 +169,7 @@ FrameOutcome DiveAgent::process_frame(const video::Frame& frame,
   {
     DIVE_OBS_SPAN(span, obs, "agent.transmit", obs::kTrackAgent);
     tx = uplink_->transmit_with_timeout(static_cast<double>(upload_bytes),
-                                        ready);
+                                        ready, &trace_ctx);
     span.arg("delivered", tx.delivered ? 1 : 0);
   }
   if (tx.delivered) {
@@ -175,6 +193,14 @@ FrameOutcome DiveAgent::process_frame(const video::Frame& frame,
     outcome.detections = inference.detections;
     outcome.response_time = inference.result_at_agent - capture_time;
     if (obs != nullptr) {
+      const util::SimTime served =
+          inference.result_at_agent - server_->config().downlink_delay;
+      obs->ledger.stage(trace_ctx, obs::FrameStage::kInference, tx.arrival,
+                        served);
+      obs->ledger.stage(trace_ctx, obs::FrameStage::kResult, served,
+                        inference.result_at_agent);
+      obs->ledger.outcome(trace_ctx, obs::FrameOutcome::kCompleted,
+                          inference.result_at_agent);
       obs->metrics.counter("agent.offloaded").add();
       obs->metrics.counter("agent.bytes_sent", "bytes")
           .add(static_cast<std::int64_t>(upload_bytes));
@@ -219,7 +245,10 @@ FrameOutcome DiveAgent::process_frame(const video::Frame& frame,
     obs->metrics.distribution("agent.response_ms", "ms")
         .add(util::to_millis(outcome.response_time));
     obs->tracer.span_at("agent.mot_track", obs::kTrackAgent, tx.gave_up_at,
-                        tx.gave_up_at + config_.latencies.local_track);
+                        tx.gave_up_at + config_.latencies.local_track, {},
+                        trace_ctx.flow_id());
+    obs->ledger.outcome(trace_ctx, obs::FrameOutcome::kDroppedUplink,
+                        tx.gave_up_at);
   }
   return outcome;
 }

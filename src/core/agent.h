@@ -116,6 +116,7 @@ class DiveAgent final : public AnalyticsScheme {
   ForegroundResult last_fg_;
   int last_delta_ = 0;
   bool need_resync_ = false;  ///< next upload must be intra (after a drop)
+  std::uint64_t frame_seq_ = 0;  ///< frames processed; ledger frame index
   /// Lookahead frame from hint_next_frame; consumed (and cleared) by the
   /// next process_frame call. Non-owning — see hint_next_frame lifetime.
   const video::Frame* next_hint_ = nullptr;

@@ -19,6 +19,7 @@
 #include "codec/decoder.h"
 #include "edge/detection.h"
 #include "edge/detector.h"
+#include "obs/frame_context.h"
 #include "util/rng.h"
 #include "util/sim_clock.h"
 
@@ -93,12 +94,21 @@ class EdgeServer {
   /// spanning arrival -> result-at-agent (simulated time).
   void set_obs(obs::ObsContext* obs) { obs_ = obs; }
 
+  /// Causal identity of the frame the next process() call serves: its
+  /// edge spans join the frame's flow and its inference/result stages
+  /// land in the ledger. Set per frame by the agent; an invalid (default)
+  /// context observes nothing extra.
+  void set_frame_context(const obs::FrameTraceContext& ctx) {
+    frame_ctx_ = ctx;
+  }
+
  private:
   ServerConfig config_;
   codec::Decoder decoder_;
   ChromaDetector detector_;
   util::Rng rng_;  ///< base seed; per-frame streams are forked off it
   obs::ObsContext* obs_ = nullptr;
+  obs::FrameTraceContext frame_ctx_;
   std::uint64_t processed_ = 0;
 };
 

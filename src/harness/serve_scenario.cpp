@@ -103,7 +103,11 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioOptions& options) {
   for (int i = 0; i < options.sessions; ++i) {
     auto trace = std::make_shared<net::ConstantBandwidth>(
         net::mbps_to_bytes_per_sec(options.mbps));
-    node.open_session(std::make_shared<net::Uplink>(trace, uplink_cfg));
+    auto uplink = std::make_shared<net::Uplink>(trace, uplink_cfg);
+    // Observed uplinks record net.* spans and the frame ledger's
+    // uplink-queue / transmit / propagation stages.
+    uplink->set_obs(options.obs);
+    node.open_session(std::move(uplink));
 
     AgentState& agent = agents[static_cast<std::size_t>(i)];
     agent.clip_index = i % spec.clip_count;
@@ -172,6 +176,24 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioOptions& options) {
       absorb(node.run_until(capture));
       deliver_until(capture);
 
+      // Causal identity: minted here, in global capture order on the
+      // driving thread, so sequence (= flow id) assignment is identical
+      // for every encoder thread count. The context rides the frame
+      // through encoder spans, the uplink, admission, and dispatch.
+      obs::FrameTraceContext ctx;
+      if (options.obs != nullptr) {
+        ctx = options.obs->ledger.begin_frame(
+            static_cast<std::uint32_t>(s), static_cast<std::uint64_t>(f),
+            capture, capture + node_cfg.session.deadline);
+        options.obs->tracer.set_sim_now(capture);
+        if (options.timeline != nullptr &&
+            capture >= options.timeline->next()) {
+          node.metrics().publish(options.obs->metrics);
+          options.timeline->sample(capture);
+        }
+      }
+      agent.encoder->set_frame_context(ctx);
+
       const video::Frame& image =
           agent.clip->frames[static_cast<std::size_t>(f)].image;
       const codec::MotionField motion = agent.encoder->analyze_motion(image);
@@ -197,16 +219,41 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioOptions& options) {
 
       const util::SimTime ready =
           capture + options.latencies.analysis + options.latencies.encode;
+      if (options.obs != nullptr) {
+        // The modeled encode interval as a flow-linked span on the
+        // session's track (encoder ScopedSpans are wall-clocked and
+        // anchor at a sim instant; this is the sim-time stage).
+        options.obs->tracer.span_at(
+            "agent.encode", obs::kTrackSessionBase +
+                                static_cast<std::uint32_t>(s),
+            capture, ready,
+            {{"frame", static_cast<long long>(f)},
+             {"bytes", static_cast<long long>(encoded.bytes())}},
+            ctx.flow_id());
+        options.obs->ledger.stage(ctx, obs::FrameStage::kEncode, capture,
+                                  ready);
+        if (options.roi_metadata) {
+          // Sidecar serialization is modeled as zero sim latency; the
+          // zero-width stage still appears in the breakdown so sidecar
+          // cost is named (its bytes are charged to transmit).
+          options.obs->ledger.stage(ctx, obs::FrameStage::kSidecar, ready,
+                                    ready);
+        }
+      }
       const net::TransmitResult tx =
           node.session(static_cast<std::uint32_t>(s))
               .uplink()
               .transmit_with_timeout(
                   static_cast<double>(encoded.bytes() + sidecar.size()),
-                  ready);
+                  ready, &ctx);
 
       bool fallback = false;
       if (!tx.delivered) {
         ++node.metrics().session(static_cast<std::uint32_t>(s)).dropped_uplink;
+        if (options.obs != nullptr) {
+          options.obs->ledger.outcome(ctx, obs::FrameOutcome::kDroppedUplink,
+                                      tx.gave_up_at);
+        }
         fallback = true;
       } else {
         serve::FrameJob job;
@@ -216,6 +263,7 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioOptions& options) {
         job.arrival = tx.arrival;
         job.data = std::move(encoded.data);
         job.roi_metadata = std::move(sidecar);
+        job.trace = ctx;
         fallback = node.submit(std::move(job)) !=
                    serve::AdmissionVerdict::kAdmit;
       }
@@ -236,6 +284,13 @@ ServeScenarioResult run_serve_scenario(const ServeScenarioOptions& options) {
     }
   }
   absorb(node.drain());
+  if (options.obs != nullptr && options.timeline != nullptr) {
+    // Final row after drain: node.drain() republished serve metrics, so
+    // this snapshot carries the end-of-run totals.
+    options.timeline->force_sample(
+        static_cast<util::SimTime>(options.frames_per_session) *
+        frame_period);
+  }
 
   // Scoring: detections on raw frames are ground truth (paper protocol).
   const edge::ChromaDetector gt_detector{node_cfg.server.detector};

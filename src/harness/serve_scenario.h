@@ -58,7 +58,16 @@ struct ServeScenarioOptions {
   std::uint64_t seed = 99;
   /// Optional observability context attached to the node (per-session
   /// infer spans, admission-drop instants, serve.* metrics on drain).
+  /// When set, the scenario additionally mints one FrameTraceContext per
+  /// captured frame (global capture order -> deterministic sequence /
+  /// flow ids) and records every stage into obs->ledger, so the trace
+  /// export carries cross-track flow arrows and the ledger a per-frame
+  /// latency breakdown + deadline-miss autopsy.
   obs::ObsContext* obs = nullptr;
+  /// Optional deterministic time series (requires obs): the scenario
+  /// republishes serve metrics and samples the registry at each of the
+  /// snapshotter's sim-clock boundaries, plus a final row after drain.
+  obs::MetricsSnapshotter* timeline = nullptr;
 };
 
 /// Defaults tuned so the 1 -> 64 sweep crosses the node's capacity:

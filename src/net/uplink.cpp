@@ -13,12 +13,16 @@ Uplink::Uplink(std::shared_ptr<const BandwidthTrace> trace,
   if (trace_ == nullptr) throw std::invalid_argument("Uplink: null trace");
 }
 
-/// Metric/span bookkeeping shared by both transmit paths; everything is
-/// computed from simulated timestamps, so observation is deterministic.
+/// Metric/span/ledger bookkeeping shared by both transmit paths;
+/// everything is computed from simulated timestamps, so observation is
+/// deterministic.
 TransmitResult Uplink::record(const char* span_name, const TransmitResult& r,
-                              double bytes, util::SimTime enqueue_time) {
+                              double bytes, util::SimTime enqueue_time,
+                              const obs::FrameTraceContext* trace) {
   if (obs_ == nullptr) return r;
   auto& m = obs_->metrics;
+  const std::uint64_t flow =
+      trace != nullptr && trace->valid() ? trace->flow_id() : 0;
   m.counter("net.transmits").add();
   m.distribution("net.queue_ms", "ms")
       .add(util::to_millis(r.started - enqueue_time));
@@ -30,17 +34,28 @@ TransmitResult Uplink::record(const char* span_name, const TransmitResult& r,
         .add(util::to_millis(r.sent_complete - r.started));
     obs_->tracer.span_at(span_name, obs::kTrackNet, r.started,
                          r.sent_complete,
-                         {{"bytes", static_cast<long long>(bytes)}});
+                         {{"bytes", static_cast<long long>(bytes)}}, flow);
   } else {
     m.counter("net.outages").add();
     obs_->tracer.span_at("net.timeout", obs::kTrackNet, r.started,
                          r.gave_up_at,
-                         {{"bytes", static_cast<long long>(bytes)}});
+                         {{"bytes", static_cast<long long>(bytes)}}, flow);
+  }
+  if (trace != nullptr && trace->valid()) {
+    auto& ledger = obs_->ledger;
+    ledger.stage(*trace, obs::FrameStage::kUplinkQueue, enqueue_time,
+                 r.started);
+    ledger.stage(*trace, obs::FrameStage::kTransmit, r.started,
+                 r.delivered ? r.sent_complete : r.gave_up_at);
+    if (r.delivered)
+      ledger.stage(*trace, obs::FrameStage::kPropagation, r.sent_complete,
+                   r.arrival);
   }
   return r;
 }
 
-TransmitResult Uplink::transmit(double bytes, util::SimTime enqueue_time) {
+TransmitResult Uplink::transmit(double bytes, util::SimTime enqueue_time,
+                                const obs::FrameTraceContext* trace) {
   const util::SimTime start = std::max(enqueue_time, busy_until_);
   // A generous horizon: nothing in the evaluation waits more than minutes.
   const util::SimTime horizon = start + 600 * util::kMicrosPerSec;
@@ -55,17 +70,18 @@ TransmitResult Uplink::transmit(double bytes, util::SimTime enqueue_time) {
     r.started = start;
     r.gave_up_at = horizon;
     busy_until_ = std::max(busy_until_, horizon);
-    return record("net.transmit", r, bytes, enqueue_time);
+    return record("net.transmit", r, bytes, enqueue_time, trace);
   }
   busy_until_ = complete;
   return record("net.transmit",
                 {true, start, complete, complete + config_.propagation_delay,
                  0},
-                bytes, enqueue_time);
+                bytes, enqueue_time, trace);
 }
 
-TransmitResult Uplink::transmit_with_timeout(double bytes,
-                                             util::SimTime enqueue_time) {
+TransmitResult Uplink::transmit_with_timeout(
+    double bytes, util::SimTime enqueue_time,
+    const obs::FrameTraceContext* trace) {
   const util::SimTime head_time = std::max(enqueue_time, busy_until_);
   const util::SimTime deadline = head_time + config_.head_timeout;
   const util::SimTime complete =
@@ -77,13 +93,13 @@ TransmitResult Uplink::transmit_with_timeout(double bytes,
     r.gave_up_at = deadline;
     // Dropped frame: the radio is idle again from the moment we gave up.
     busy_until_ = std::max(busy_until_, deadline);
-    return record("net.transmit", r, bytes, enqueue_time);
+    return record("net.transmit", r, bytes, enqueue_time, trace);
   }
   busy_until_ = complete;
   return record("net.transmit",
                 {true, head_time, complete,
                  complete + config_.propagation_delay, 0},
-                bytes, enqueue_time);
+                bytes, enqueue_time, trace);
 }
 
 double Uplink::capacity_between(util::SimTime t0, util::SimTime t1) const {

@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "net/bandwidth.h"
+#include "obs/frame_context.h"
 #include "util/sim_clock.h"
 
 namespace dive::obs {
@@ -45,13 +46,18 @@ class Uplink {
   /// horizon: when the trace cannot move the data inside it (an extreme
   /// outage), the result reports `delivered == false` with `gave_up_at`
   /// set to the horizon rather than a fabricated completion time.
-  TransmitResult transmit(double bytes, util::SimTime enqueue_time);
+  /// `trace` (optional) ties the transmission to a frame: the uplink
+  /// span joins the frame's flow and the queue/serialize/propagation
+  /// intervals are recorded into the context's FrameLedger.
+  TransmitResult transmit(double bytes, util::SimTime enqueue_time,
+                          const obs::FrameTraceContext* trace = nullptr);
 
   /// Transmits unless the head-of-line timer (config.head_timeout)
   /// expires first; on expiry the frame is dropped and the link is left
   /// idle (real stacks flush the socket on outage detection).
-  TransmitResult transmit_with_timeout(double bytes,
-                                       util::SimTime enqueue_time);
+  TransmitResult transmit_with_timeout(
+      double bytes, util::SimTime enqueue_time,
+      const obs::FrameTraceContext* trace = nullptr);
 
   /// Bytes the link could move in [t0, t1) — used by tests and by
   /// bandwidth-estimator ground truth.
@@ -68,7 +74,8 @@ class Uplink {
 
  private:
   TransmitResult record(const char* span_name, const TransmitResult& r,
-                        double bytes, util::SimTime enqueue_time);
+                        double bytes, util::SimTime enqueue_time,
+                        const obs::FrameTraceContext* trace);
 
   std::shared_ptr<const BandwidthTrace> trace_;
   UplinkConfig config_;

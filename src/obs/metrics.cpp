@@ -191,4 +191,91 @@ std::string MetricsRegistry::to_csv() const {
   return out;
 }
 
+std::vector<std::pair<std::string, double>> MetricsRegistry::flatten() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size() + gauges_.size() + 3 * distributions_.size());
+  for (const auto& [name, c] : counters_)
+    out.emplace_back(name, static_cast<double>(c->value()));
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  for (const auto& [name, d] : distributions_) {
+    const auto s = d->summary();
+    out.emplace_back(name + ".count", static_cast<double>(s.count));
+    out.emplace_back(name + ".mean", s.mean);
+    out.emplace_back(name + ".p99", s.p99);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+MetricsSnapshotter::MetricsSnapshotter(const MetricsRegistry* registry,
+                                       util::SimTime period)
+    : registry_(registry), period_(period > 0 ? period : 1), next_(0) {}
+
+void MetricsSnapshotter::sample(util::SimTime now) {
+  while (next_ <= now) {
+    force_sample(next_);
+    next_ += period_;
+  }
+}
+
+void MetricsSnapshotter::force_sample(util::SimTime at) {
+  Row row;
+  row.at = at;
+  if (registry_ != nullptr) row.values = registry_->flatten();
+  rows_.push_back(std::move(row));
+}
+
+std::string MetricsSnapshotter::to_csv() const {
+  // Column union across rows (late-registered metrics appear with empty
+  // cells in earlier rows), in sorted name order.
+  std::vector<std::string> columns;
+  for (const Row& row : rows_)
+    for (const auto& [name, value] : row.values) columns.push_back(name);
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+
+  std::string out = "time_ms";
+  for (const std::string& column : columns) out += "," + column;
+  out += "\n";
+  for (const Row& row : rows_) {
+    out += fmt_double(util::to_millis(row.at));
+    std::size_t i = 0;  // row.values is sorted: single merge pass
+    for (const std::string& column : columns) {
+      out += ",";
+      while (i < row.values.size() && row.values[i].first < column) ++i;
+      if (i < row.values.size() && row.values[i].first == column)
+        out += fmt_double(row.values[i].second);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+util::TextTable MetricsSnapshotter::to_table(
+    const std::vector<std::string>& columns) const {
+  util::TextTable table("metrics timeline");
+  std::vector<std::string> header = {"time_ms"};
+  header.insert(header.end(), columns.begin(), columns.end());
+  table.set_header(std::move(header));
+  for (const Row& row : rows_) {
+    std::vector<std::string> cells = {
+        util::TextTable::fmt(util::to_millis(row.at), 1)};
+    for (const std::string& column : columns) {
+      const auto it = std::lower_bound(
+          row.values.begin(), row.values.end(), column,
+          [](const auto& kv, const std::string& name) {
+            return kv.first < name;
+          });
+      if (it != row.values.end() && it->first == column)
+        cells.push_back(util::TextTable::fmt(it->second));
+      else
+        cells.push_back("-");
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
 }  // namespace dive::obs

@@ -24,7 +24,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "util/sim_clock.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -125,11 +128,57 @@ class MetricsRegistry {
   [[nodiscard]] std::string to_json() const;
   [[nodiscard]] std::string to_csv() const;
 
+  /// Flat deterministic (name, value) view for time-series sampling:
+  /// counters and gauges by current value, distributions expanded to
+  /// <name>.count / <name>.mean / <name>.p99. Sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> flatten() const;
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Distribution>> distributions_;
+};
+
+/// Deterministic sim-clock time series over a registry: one row per
+/// period boundary crossed, each row a full flatten() of the registry at
+/// the moment sample() was called. Because sampling is driven from the
+/// orchestrating loop at simulated boundaries (never from a wall timer),
+/// the emitted CSV is byte-identical across runs and thread counts.
+class MetricsSnapshotter {
+ public:
+  /// `registry` must outlive the snapshotter; `period` > 0 (sim micros).
+  MetricsSnapshotter(const MetricsRegistry* registry, util::SimTime period);
+
+  /// Emits one row per period boundary in (last sampled, now]; rows are
+  /// stamped at the boundary time and carry the registry's current
+  /// values. Call with monotone `now` from the sim loop.
+  void sample(util::SimTime now);
+  /// Unconditional row at `at` (e.g. the final drain snapshot).
+  void force_sample(util::SimTime at);
+
+  /// Next boundary sample() would emit a row for — lets callers skip
+  /// expensive pre-sample work (metric publication) between boundaries.
+  [[nodiscard]] util::SimTime next() const { return next_; }
+
+  struct Row {
+    util::SimTime at = 0;
+    std::vector<std::pair<std::string, double>> values;  ///< sorted by name
+  };
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
+  /// time_ms plus the sorted union of all metric columns; rows missing a
+  /// column (metric not yet registered) emit an empty cell.
+  [[nodiscard]] std::string to_csv() const;
+  /// Compact timeline for the named columns only.
+  [[nodiscard]] util::TextTable to_table(
+      const std::vector<std::string>& columns) const;
+
+ private:
+  const MetricsRegistry* registry_;
+  util::SimTime period_;
+  util::SimTime next_;
+  std::vector<Row> rows_;
 };
 
 }  // namespace dive::obs

@@ -9,6 +9,8 @@
 // are already no-ops without a context).
 #pragma once
 
+#include "obs/frame_context.h"
+#include "obs/frame_ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -17,6 +19,7 @@ namespace dive::obs {
 struct ObsContext {
   MetricsRegistry metrics;
   Tracer tracer;
+  FrameLedger ledger;
 };
 
 }  // namespace dive::obs

@@ -72,7 +72,8 @@ void append_args(std::string& out,
 
 void Tracer::span_at(const std::string& name, std::uint32_t track,
                      util::SimTime begin, util::SimTime end,
-                     std::vector<std::pair<std::string, long long>> args) {
+                     std::vector<std::pair<std::string, long long>> args,
+                     std::uint64_t flow) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mutex_);
   TraceEvent ev;
@@ -80,14 +81,16 @@ void Tracer::span_at(const std::string& name, std::uint32_t track,
   ev.track = track;
   ev.sim_begin = begin;
   ev.sim_end = std::max(begin, end);
+  ev.flow = flow;
   ev.args = std::move(args);
   events_.push_back(std::move(ev));
 }
 
 void Tracer::instant(const std::string& name, std::uint32_t track,
                      util::SimTime at,
-                     std::vector<std::pair<std::string, long long>> args) {
-  span_at(name, track, at, at, std::move(args));
+                     std::vector<std::pair<std::string, long long>> args,
+                     std::uint64_t flow) {
+  span_at(name, track, at, at, std::move(args), flow);
 }
 
 std::int64_t Tracer::begin_span(const char* name, std::uint32_t track) {
@@ -113,6 +116,13 @@ void Tracer::span_arg(std::int64_t index, const char* key, long long value) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (index >= static_cast<std::int64_t>(events_.size())) return;
   events_[static_cast<std::size_t>(index)].args.emplace_back(key, value);
+}
+
+void Tracer::span_flow(std::int64_t index, std::uint64_t flow) {
+  if (index < 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= static_cast<std::int64_t>(events_.size())) return;
+  events_[static_cast<std::size_t>(index)].flow = flow;
 }
 
 void Tracer::end_span(std::int64_t index) {
@@ -185,22 +195,35 @@ std::string Tracer::to_chrome_json(TraceClock clock) const {
            json_escape(track_name(t)) + "\"}}";
   }
 
+  // Flow membership in output order: a flow with >= 2 events gets one
+  // flow event per member ("s" first, "t" middle, "f" last) emitted
+  // right after the member's "X" event at the same ts/tid, so viewers
+  // bind the arrow to that slice. Deterministic: ids are mint sequences
+  // and positions follow the sorted output order.
+  std::map<std::uint64_t, std::uint32_t> flow_counts;
+  for (std::size_t i : order)
+    if (events[i].flow != 0) ++flow_counts[events[i].flow];
+  std::map<std::uint64_t, std::uint32_t> flow_seen;
+
   char buf[64];
   for (std::size_t i : order) {
     const TraceEvent& ev = events[i];
     if (!first) out += ",";
     first = false;
+    std::string ts;
     out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(ev.track) +
            ",\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"" +
            json_escape(category_of(ev.name)) + "\",";
     if (clock == TraceClock::kSim) {
-      out += "\"ts\":" + std::to_string(ev.sim_begin) +
+      ts = std::to_string(ev.sim_begin);
+      out += "\"ts\":" + ts +
              ",\"dur\":" + std::to_string(ev.sim_end - ev.sim_begin) + ",";
     } else {
       std::snprintf(buf, sizeof(buf), "%.3f",
                     static_cast<double>(ev.wall_begin_ns - wall_base) /
                         1000.0);
-      out += std::string("\"ts\":") + buf;
+      ts = buf;
+      out += "\"ts\":" + ts;
       std::snprintf(buf, sizeof(buf), "%.3f",
                     static_cast<double>(ev.wall_end_ns - ev.wall_begin_ns) /
                         1000.0);
@@ -208,6 +231,17 @@ std::string Tracer::to_chrome_json(TraceClock clock) const {
     }
     append_args(out, ev.args);
     out += "}";
+    if (ev.flow != 0 && flow_counts[ev.flow] >= 2) {
+      const std::uint32_t k = flow_seen[ev.flow]++;
+      const bool last = k + 1 == flow_counts[ev.flow];
+      out += ",{\"ph\":\"";
+      out += k == 0 ? "s" : (last ? "f" : "t");
+      out += "\",\"pid\":1,\"tid\":" + std::to_string(ev.track) +
+             ",\"name\":\"frame\",\"cat\":\"flow\",\"id\":" +
+             std::to_string(ev.flow) + ",\"ts\":" + ts;
+      if (k != 0) out += ",\"bp\":\"e\"";
+      out += "}";
+    }
   }
   out += "]}\n";
   return out;

@@ -16,6 +16,13 @@
 // logical tracks). TraceClock::kWall lays out the same spans by host
 // time; those bytes naturally differ run to run.
 //
+// Flow events: spans tagged with a FrameTraceContext flow id are linked
+// across tracks by Chrome flow events ("s"/"t"/"f") in the export, so
+// Perfetto draws arrows following one frame through encode -> uplink ->
+// admission -> batch -> inference. Flow ids are deterministic mint
+// sequences, so the kSim export stays byte-identical across thread
+// counts.
+//
 // Overhead: when tracing is disabled (the default) a span is one relaxed
 // atomic load; compiling with DIVE_OBS_DISABLED removes the macro call
 // sites entirely (see obs/obs.h).
@@ -30,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/frame_context.h"
 #include "util/sim_clock.h"
 
 namespace dive::obs {
@@ -55,6 +63,7 @@ struct TraceEvent {
   std::uint64_t wall_end_ns = 0;
   std::int64_t parent = -1;  ///< index of the enclosing ScopedSpan, or -1
   bool open = false;         ///< ScopedSpan not yet ended
+  std::uint64_t flow = 0;    ///< frame flow id (FrameTraceContext), 0 = none
   std::vector<std::pair<std::string, long long>> args;
 };
 
@@ -78,18 +87,23 @@ class Tracer {
     return sim_now_.load(std::memory_order_relaxed);
   }
 
-  /// Record a completed span over an explicit simulated interval.
+  /// Record a completed span over an explicit simulated interval. A
+  /// non-zero `flow` ties the span into a frame's cross-track flow
+  /// (pass FrameTraceContext::flow_id()).
   void span_at(const std::string& name, std::uint32_t track,
                util::SimTime begin, util::SimTime end,
-               std::vector<std::pair<std::string, long long>> args = {});
+               std::vector<std::pair<std::string, long long>> args = {},
+               std::uint64_t flow = 0);
 
   /// Zero-duration marker at a simulated instant.
   void instant(const std::string& name, std::uint32_t track, util::SimTime at,
-               std::vector<std::pair<std::string, long long>> args = {});
+               std::vector<std::pair<std::string, long long>> args = {},
+               std::uint64_t flow = 0);
 
   /// ScopedSpan plumbing: returns the event index, or -1 when disabled.
   std::int64_t begin_span(const char* name, std::uint32_t track);
   void span_arg(std::int64_t index, const char* key, long long value);
+  void span_flow(std::int64_t index, std::uint64_t flow);
   void end_span(std::int64_t index);
 
   [[nodiscard]] std::size_t event_count() const;
@@ -135,6 +149,16 @@ class ScopedSpan {
   void arg(const char* key, long long value) {
     if (tracer_ != nullptr && index_ >= 0)
       tracer_->span_arg(index_, key, value);
+  }
+
+  /// Tags the span with a frame's flow id plus session/frame args so it
+  /// joins the frame's cross-track flow in the export. No-op on inert
+  /// spans or unminted contexts.
+  void flow(const FrameTraceContext& ctx) {
+    if (tracer_ == nullptr || index_ < 0 || !ctx.valid()) return;
+    tracer_->span_flow(index_, ctx.flow_id());
+    tracer_->span_arg(index_, "session", static_cast<long long>(ctx.session_id));
+    tracer_->span_arg(index_, "frame", static_cast<long long>(ctx.frame_index));
   }
 
  private:

@@ -35,13 +35,17 @@ AdmissionVerdict ServeNode::submit(FrameJob job) {
       scheduler_.estimated_completion(job.arrival);
   const AdmissionVerdict verdict = admission_.decide(
       s, job.capture_time, predicted_done, config_.server.downlink_delay);
+  const std::uint64_t flow = job.trace.flow_id();
   switch (verdict) {
     case AdmissionVerdict::kQueueFull:
       ++counters.dropped_queue;
       if (obs_ != nullptr) {
         obs_->tracer.instant("serve.drop_queue", obs::kTrackServe, job.arrival,
                              {{"session", job.session_id},
-                              {"frame", static_cast<long long>(job.frame_index)}});
+                              {"frame", static_cast<long long>(job.frame_index)}},
+                             flow);
+        obs_->ledger.outcome(job.trace, obs::FrameOutcome::kDroppedQueue,
+                             job.arrival);
       }
       return verdict;
     case AdmissionVerdict::kDeadline:
@@ -50,7 +54,10 @@ AdmissionVerdict ServeNode::submit(FrameJob job) {
         obs_->tracer.instant("serve.drop_deadline", obs::kTrackServe,
                              job.arrival,
                              {{"session", job.session_id},
-                              {"frame", static_cast<long long>(job.frame_index)}});
+                              {"frame", static_cast<long long>(job.frame_index)}},
+                             flow);
+        obs_->ledger.outcome(job.trace, obs::FrameOutcome::kDroppedDeadline,
+                             job.arrival);
       }
       return verdict;
     case AdmissionVerdict::kAdmit: break;
@@ -62,7 +69,8 @@ AdmissionVerdict ServeNode::submit(FrameJob job) {
     obs_->tracer.instant("serve.queued",
                          obs::kTrackSessionBase + job.session_id, job.arrival,
                          {{"frame", static_cast<long long>(job.frame_index)},
-                          {"depth", static_cast<long long>(s.queue_depth())}});
+                          {"depth", static_cast<long long>(s.queue_depth())}},
+                         flow);
   }
   s.on_admitted();
 
@@ -82,8 +90,8 @@ AdmissionVerdict ServeNode::submit(FrameJob job) {
   const double work = pending.roi ? pending.plan.work : 1.0;
   payloads_.emplace(std::make_pair(job.session_id, job.frame_index),
                     std::move(pending));
-  scheduler_.submit(
-      {job.session_id, job.frame_index, job.capture_time, job.arrival, work});
+  scheduler_.submit({job.session_id, job.frame_index, job.capture_time,
+                     job.arrival, work, job.trace});
   return verdict;
 }
 
@@ -144,15 +152,45 @@ std::vector<JobResult> ServeNode::realize(std::vector<Batch> batches) {
       counters.e2e_ms.add(
           util::to_millis(r.result_at_agent - job.capture_time));
       if (obs_ != nullptr) {
+        // Wait decomposition on the session's own track, flow-linked to
+        // the frame's encode/uplink spans: [arrival, open) waited for a
+        // worker+window (admission wait), [open', start) for the batch
+        // to form. open can precede this member's arrival (it joined an
+        // already-open window), so the boundary clamps to arrival.
+        const std::uint32_t track = obs::kTrackSessionBase + job.session_id;
+        const util::SimTime open_at = std::max(job.arrival, batch.open);
+        const std::uint64_t flow = job.trace.flow_id();
+        obs_->tracer.span_at(
+            "serve.admission_wait", track, job.arrival, open_at,
+            {{"frame", static_cast<long long>(job.frame_index)}}, flow);
+        obs_->tracer.span_at(
+            "serve.batch_wait", track, open_at, batch.start,
+            {{"frame", static_cast<long long>(job.frame_index)},
+             {"batch", static_cast<long long>(batch.jobs.size())}},
+            flow);
         // One span per completed inference on the session's own track:
         // queue wait is visible as the gap from the preceding
         // serve.queued instant to this span's start.
         obs_->tracer.span_at(
-            "serve.infer", obs::kTrackSessionBase + job.session_id,
-            batch.start, batch.done,
+            "serve.infer", track, batch.start, batch.done,
             {{"frame", static_cast<long long>(job.frame_index)},
              {"batch", static_cast<long long>(batch.jobs.size())},
-             {"detections", static_cast<long long>(r.detections.size())}});
+             {"detections", static_cast<long long>(r.detections.size())}},
+            flow);
+        obs_->tracer.span_at(
+            "serve.result", track, batch.done, r.result_at_agent,
+            {{"frame", static_cast<long long>(job.frame_index)}}, flow);
+        auto& ledger = obs_->ledger;
+        ledger.stage(job.trace, obs::FrameStage::kAdmissionWait, job.arrival,
+                     open_at);
+        ledger.stage(job.trace, obs::FrameStage::kBatchWait, open_at,
+                     batch.start);
+        ledger.stage(job.trace, obs::FrameStage::kInference, batch.start,
+                     batch.done);
+        ledger.stage(job.trace, obs::FrameStage::kResult, batch.done,
+                     r.result_at_agent);
+        ledger.outcome(job.trace, obs::FrameOutcome::kCompleted,
+                       r.result_at_agent);
       }
       results.push_back(std::move(r));
     }

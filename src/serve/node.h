@@ -53,6 +53,9 @@ struct FrameJob {
   /// is inferred full-frame exactly as before the RoI subsystem). Its
   /// bytes already rode the uplink with the frame.
   std::vector<std::uint8_t> roi_metadata;
+  /// Causal identity minted at encode time (harness). Unminted = frame
+  /// not traced: spans fall back to untagged, the ledger skips it.
+  obs::FrameTraceContext trace;
 };
 
 /// A completed inference on its way back to the agent.

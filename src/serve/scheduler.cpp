@@ -112,6 +112,7 @@ std::vector<Batch> Scheduler::run_until(util::SimTime now) {
 
     Batch batch;
     batch.worker = w;
+    batch.open = open;
     batch.start = start;
     batch.jobs.assign(pending_.begin(),
                       pending_.begin() + static_cast<std::ptrdiff_t>(take));

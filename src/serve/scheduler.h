@@ -37,6 +37,7 @@
 #include <deque>
 #include <vector>
 
+#include "obs/frame_context.h"
 #include "util/sim_clock.h"
 
 namespace dive::serve {
@@ -62,13 +63,21 @@ struct ScheduledJob {
   /// Inference cost scale in (0, 1]: 1 = full-frame, < 1 = RoI-gated
   /// (roi::GatePlan::work, the floored gated pixel fraction).
   double work = 1.0;
+  /// Causal identity minted at encode time; carried by value so wait/
+  /// inference spans and the FrameLedger can attribute this job's
+  /// latency. Plain data, never read by scheduling decisions.
+  obs::FrameTraceContext trace;
 };
 
 /// One dispatched batch: `jobs` in queue order, serviced on `worker`
-/// during [start, done).
+/// during [start, done). `open` is when the batch window opened (the
+/// earliest pending job met the earliest free worker): [arrival, open)
+/// is a member's admission wait, [max(arrival, open), start) its batch
+/// wait — the split the per-frame ledger reports.
 struct Batch {
   std::vector<ScheduledJob> jobs;
   int worker = 0;
+  util::SimTime open = 0;
   util::SimTime start = 0;
   util::SimTime done = 0;
 };

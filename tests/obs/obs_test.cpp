@@ -308,6 +308,251 @@ TEST(ObsDeterminism, ExportBytesIdenticalAcrossEncodeThreadCounts) {
 #endif
 }
 
+// --------------------------------------------------- frame causality
+
+TEST(FrameContext, DefaultIsInvalidAndFlowIdIsSequence) {
+  FrameTraceContext ctx;
+  EXPECT_FALSE(ctx.valid());
+  ctx.sequence = 42;
+  ctx.session_id = 3;
+  ctx.frame_index = 7;
+  EXPECT_TRUE(ctx.valid());
+  EXPECT_EQ(ctx.flow_id(), 42u);
+}
+
+TEST(Tracer, FlowEventsChainAcrossTracks) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  // Three member spans of flow 5 on three tracks, plus one span of
+  // flow 9 (single member: no arrows) and one unflowed span.
+  tracer.span_at("agent.encode", kTrackSessionBase, 0, 16'000, {}, 5);
+  tracer.span_at("net.transmit", kTrackNet, 16'000, 36'000, {}, 5);
+  tracer.span_at("serve.infer", kTrackSessionBase, 50'000, 67'000, {}, 5);
+  tracer.span_at("edge.process", kTrackEdge, 70'000, 80'000, {}, 9);
+  tracer.span_at("agent.frame", kTrackAgent, 0, 80'000);
+
+  const std::string json = tracer.to_chrome_json(TraceClock::kSim);
+  expect_valid_chrome_json(json);
+  // One s, one t, one f for flow 5, bound to the enclosing slice on the
+  // non-first members; nothing for the single-member flow 9.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"flow\",\"id\":5"), std::string::npos);
+  EXPECT_EQ(json.find("\"id\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  // s before t before f (emission follows the sorted output order).
+  const std::size_t s_at = json.find("\"ph\":\"s\"");
+  const std::size_t t_at = json.find("\"ph\":\"t\"");
+  const std::size_t f_at = json.find("\"ph\":\"f\"");
+  EXPECT_LT(s_at, t_at);
+  EXPECT_LT(t_at, f_at);
+}
+
+TEST(Tracer, ScopedSpanFlowTagsEventAndArgs) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_sim_now(100);
+  FrameTraceContext ctx{/*session_id=*/2, /*frame_index=*/11,
+                        /*sequence=*/77};
+  {
+    ScopedSpan span(&tracer, "agent.frame", kTrackAgent);
+    span.flow(ctx);
+  }
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].flow, 77u);
+  // flow() also attaches session/frame args for readability.
+  const std::string json = tracer.to_chrome_json(TraceClock::kSim);
+  EXPECT_NE(json.find("\"session\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"frame\":11"), std::string::npos);
+
+  // An invalid context is a no-op tag.
+  tracer.clear();
+  {
+    ScopedSpan span(&tracer, "agent.frame", kTrackAgent);
+    span.flow(FrameTraceContext{});
+  }
+  EXPECT_EQ(tracer.snapshot().at(0).flow, 0u);
+}
+
+// ------------------------------------------------------- frame ledger
+
+TEST(FrameLedger, MintsMonotoneSequencesInCallOrder) {
+  FrameLedger ledger;
+  const FrameTraceContext a = ledger.begin_frame(0, 0, 0);
+  const FrameTraceContext b = ledger.begin_frame(1, 0, 10);
+  const FrameTraceContext c = ledger.begin_frame(0, 1, 20);
+  EXPECT_EQ(a.sequence, 1u);
+  EXPECT_EQ(b.sequence, 2u);
+  EXPECT_EQ(c.sequence, 3u);
+  EXPECT_TRUE(a.valid());
+  ASSERT_EQ(ledger.size(), 3u);
+  const auto records = ledger.records();
+  EXPECT_EQ(records[1].ctx.session_id, 1u);
+  EXPECT_EQ(records[2].capture, 20);
+}
+
+TEST(FrameLedger, StagesAttributeTheFullEndToEnd) {
+  FrameLedger ledger;
+  const FrameTraceContext ctx =
+      ledger.begin_frame(0, 0, 0, /*deadline=*/400'000);
+  ledger.stage(ctx, FrameStage::kEncode, 0, 16'000);
+  ledger.stage(ctx, FrameStage::kUplinkQueue, 16'000, 16'000);
+  ledger.stage(ctx, FrameStage::kTransmit, 16'000, 36'000);
+  ledger.stage(ctx, FrameStage::kPropagation, 36'000, 46'000);
+  ledger.stage(ctx, FrameStage::kAdmissionWait, 46'000, 48'000);
+  ledger.stage(ctx, FrameStage::kBatchWait, 48'000, 50'000);
+  ledger.stage(ctx, FrameStage::kInference, 50'000, 67'000);
+  ledger.stage(ctx, FrameStage::kResult, 67'000, 75'000);
+  ledger.outcome(ctx, FrameOutcome::kCompleted, 75'000);
+
+  const FrameRecord rec = ledger.records().at(0);
+  EXPECT_EQ(rec.outcome, FrameOutcome::kCompleted);
+  EXPECT_DOUBLE_EQ(rec.e2e_ms(), 75.0);
+  EXPECT_DOUBLE_EQ(rec.attributed_ms(), 75.0);  // gapless tiling
+  EXPECT_EQ(rec.dominant_stage(), FrameStage::kTransmit);  // 20 ms wins
+  EXPECT_DOUBLE_EQ(rec.stage_ms(FrameStage::kTransmit), 20.0);
+  EXPECT_TRUE(ledger.autopsies().empty());
+}
+
+TEST(FrameLedger, CompletionPastDeadlineBecomesLate) {
+  FrameLedger ledger;
+  const FrameTraceContext ctx =
+      ledger.begin_frame(0, 0, 0, /*deadline=*/50'000);
+  ledger.stage(ctx, FrameStage::kEncode, 0, 16'000);
+  ledger.stage(ctx, FrameStage::kAdmissionWait, 16'000, 60'000);
+  ledger.outcome(ctx, FrameOutcome::kCompleted, 70'000);
+  const FrameRecord rec = ledger.records().at(0);
+  EXPECT_EQ(rec.outcome, FrameOutcome::kCompletedLate);
+  const auto autopsies = ledger.autopsies();
+  ASSERT_EQ(autopsies.size(), 1u);
+  EXPECT_EQ(autopsies[0].dominant, FrameStage::kAdmissionWait);
+  EXPECT_DOUBLE_EQ(autopsies[0].dominant_ms, 44.0);
+}
+
+TEST(FrameLedger, DropsCarryTheirDominantStage) {
+  FrameLedger ledger;
+  const FrameTraceContext ctx = ledger.begin_frame(2, 5, 0);
+  ledger.stage(ctx, FrameStage::kEncode, 0, 16'000);
+  ledger.stage(ctx, FrameStage::kTransmit, 16'000, 300'000);
+  ledger.outcome(ctx, FrameOutcome::kDroppedUplink, 300'000);
+  const auto autopsies = ledger.autopsies();
+  ASSERT_EQ(autopsies.size(), 1u);
+  EXPECT_EQ(autopsies[0].outcome, FrameOutcome::kDroppedUplink);
+  EXPECT_EQ(autopsies[0].dominant, FrameStage::kTransmit);
+  EXPECT_TRUE(is_drop(FrameOutcome::kDroppedUplink));
+  EXPECT_FALSE(is_drop(FrameOutcome::kCompletedLate));
+}
+
+TEST(FrameLedger, InvalidContextAndUnknownSequenceAreIgnored) {
+  FrameLedger ledger;
+  ledger.stage(FrameTraceContext{}, FrameStage::kEncode, 0, 1000);
+  FrameTraceContext bogus;
+  bogus.sequence = 999;
+  ledger.stage(bogus, FrameStage::kEncode, 0, 1000);
+  ledger.outcome(bogus, FrameOutcome::kCompleted, 1000);
+  EXPECT_EQ(ledger.size(), 0u);
+}
+
+TEST(FrameLedger, JsonExportIsDeterministicAndWellFormed) {
+  auto build = [] {
+    FrameLedger ledger;
+    const FrameTraceContext a = ledger.begin_frame(0, 0, 0, 400'000);
+    ledger.stage(a, FrameStage::kEncode, 0, 16'000);
+    ledger.outcome(a, FrameOutcome::kCompleted, 40'000);
+    const FrameTraceContext b = ledger.begin_frame(1, 0, 5'000);
+    ledger.stage(b, FrameStage::kEncode, 5'000, 21'000);
+    ledger.outcome(b, FrameOutcome::kDroppedQueue, 60'000);
+    return ledger.to_json();
+  };
+  const std::string json = build();
+  EXPECT_EQ(json, build());
+  EXPECT_NE(json.find("\"schema\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"completed\""), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"dropped_queue\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage\":\"encode\""), std::string::npos);
+}
+
+TEST(FrameLedger, TablesAndPublishSummarize) {
+  FrameLedger ledger;
+  for (int i = 0; i < 4; ++i) {
+    const FrameTraceContext ctx = ledger.begin_frame(
+        static_cast<std::uint32_t>(i % 2), static_cast<std::uint64_t>(i),
+        i * 10'000, i * 10'000 + 100'000);
+    ledger.stage(ctx, FrameStage::kEncode, i * 10'000, i * 10'000 + 16'000);
+    if (i == 3) {
+      ledger.outcome(ctx, FrameOutcome::kDroppedDeadline,
+                     i * 10'000 + 20'000);
+    } else {
+      ledger.outcome(ctx, FrameOutcome::kCompleted, i * 10'000 + 40'000);
+    }
+  }
+  const std::string stages = ledger.stage_table().to_string();
+  EXPECT_NE(stages.find("encode"), std::string::npos);
+  const std::string sessions = ledger.session_table().to_string();
+  EXPECT_NE(sessions.find("0"), std::string::npos);
+  const std::string autopsy = ledger.autopsy_table().to_string();
+  EXPECT_NE(autopsy.find("dropped_deadline"), std::string::npos);
+
+  MetricsRegistry reg;
+  ledger.publish(reg);
+  EXPECT_EQ(reg.counter("obs.ledger.frames").value(), 4);
+  EXPECT_EQ(reg.counter("obs.ledger.completed").value(), 3);
+  EXPECT_EQ(reg.counter("obs.ledger.dropped").value(), 1);
+}
+
+// -------------------------------------------------- metric snapshotter
+
+TEST(MetricsSnapshotter, EmitsOneRowPerBoundaryCrossed) {
+  MetricsRegistry reg;
+  Counter& frames = reg.counter("agent.frames");
+  MetricsSnapshotter snap(&reg, 10'000);
+  EXPECT_EQ(snap.next(), 0);
+
+  frames.add(3);
+  snap.sample(5'000);  // crosses the t=0 boundary only
+  ASSERT_EQ(snap.rows().size(), 1u);
+  EXPECT_EQ(snap.rows()[0].at, 0);
+
+  frames.add(2);
+  snap.sample(35'000);  // crosses 10k, 20k, 30k
+  ASSERT_EQ(snap.rows().size(), 4u);
+  EXPECT_EQ(snap.rows()[3].at, 30'000);
+  // Rows carry the value at sample time (5 for all three crossings).
+  EXPECT_DOUBLE_EQ(snap.rows()[3].values.at(0).second, 5.0);
+  EXPECT_EQ(snap.next(), 40'000);
+
+  snap.sample(35'000);  // no boundary, no row
+  EXPECT_EQ(snap.rows().size(), 4u);
+  snap.force_sample(36'000);  // unconditional drain row
+  EXPECT_EQ(snap.rows().size(), 5u);
+  EXPECT_EQ(snap.rows()[4].at, 36'000);
+}
+
+TEST(MetricsSnapshotter, CsvIsColumnUnionAndDeterministic) {
+  MetricsRegistry reg;
+  reg.counter("agent.frames").add(1);
+  MetricsSnapshotter snap(&reg, 1'000);
+  snap.force_sample(0);
+  reg.gauge("serve.queue_depth_mean").set(2.5);  // appears later
+  reg.distribution("serve.e2e_ms", "ms").add(80.0);
+  snap.force_sample(1'000);
+
+  const std::string csv = snap.to_csv();
+  EXPECT_EQ(csv, snap.to_csv());
+  // Header = time_ms + sorted union; first row misses the late columns.
+  EXPECT_NE(csv.find("time_ms"), std::string::npos);
+  EXPECT_NE(csv.find("agent.frames"), std::string::npos);
+  EXPECT_NE(csv.find("serve.e2e_ms.p99"), std::string::npos);
+  EXPECT_NE(csv.find("serve.queue_depth_mean"), std::string::npos);
+
+  const std::string table =
+      snap.to_table({"agent.frames", "serve.queue_depth_mean"}).to_string();
+  EXPECT_NE(table.find("agent.frames"), std::string::npos);
+  EXPECT_NE(table.find("-"), std::string::npos);  // missing-cell marker
+}
+
 // ------------------------------------------ SampleSet query contract
 
 // tsan preset: after an explicit sort_samples(), const quantile queries

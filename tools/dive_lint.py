@@ -24,6 +24,18 @@ a serve node. This lint forbids them at the source level:
                 std::transform_reduce, parallel execution policies, omp
                 reductions) in the deterministic directories — float
                 addition does not reassociate.
+  metric-name   string literals passed to MetricsRegistry::{counter,
+                gauge,distribution} must be dot-separated
+                <layer>.<subsystem>.<metric> with the layer prefix one
+                of {agent, codec, net, edge, serve, roi, obs} — the
+                prefix doubles as the trace category, and exports sort
+                by name, so a stray scheme scatters one subsystem's
+                metrics across the table.
+  metric-concat string concatenation (`+`, std::to_string) in the name
+                argument of a metric call — every call re-allocates the
+                name and re-walks the registry map, which is exactly the
+                per-frame hot-path cost the handle API exists to avoid.
+                Compose dynamic names once, outside the recording path.
 
 Escapes, in preference order:
   1. a `// dive-lint: allow(<rule>)` comment on the offending line;
@@ -104,6 +116,17 @@ RULES = [
         "fixed sequential order on deterministic paths",
     ),
 ]
+
+# Metric-call hygiene: the layer vocabulary of the metric naming scheme
+# (DESIGN §15); the prefix before the first dot doubles as the trace
+# category.
+METRIC_LAYERS = ("agent", "codec", "net", "edge", "serve", "roi", "obs")
+METRIC_CALL_RE = re.compile(r"\.\s*(counter|gauge|distribution)\s*\(")
+METRIC_NAME_RE = re.compile(
+    r"^(" + "|".join(METRIC_LAYERS) + r")(\.[a-z0-9_]+)+$"
+)
+METRIC_CONCAT_RE = re.compile(r"\+|\bto_string\s*\(")
+STRING_LIT_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
 
 UNORDERED_DECL_RE = re.compile(
     r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;{()]*>\s*"
@@ -269,6 +292,80 @@ def check_unordered_iteration(relpath, stripped_lines):
     return findings
 
 
+def first_arg_region(stripped_lines, raw_lines, lineno, col):
+    """Returns (stripped, raw) text of a call's first argument, scanning
+    from just past the open paren at (lineno 1-based, col 0-based) across
+    up to 4 physical lines. Terminates at the matching close paren or the
+    first depth-1 comma. The stripper is column-preserving, so the same
+    slice indexes both views: structure comes from the stripped text
+    (parens inside string literals don't confuse the depth count), the
+    literal contents from the raw text."""
+    s_parts, r_parts = [], []
+    depth = 1
+    for k in range(4):
+        idx = lineno - 1 + k
+        if idx >= len(stripped_lines):
+            break
+        s = stripped_lines[idx]
+        r = raw_lines[idx] if idx < len(raw_lines) else ""
+        start = col if k == 0 else 0
+        for i in range(start, len(s)):
+            c = s[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    s_parts.append(s[start:i])
+                    r_parts.append(r[start:i])
+                    return "".join(s_parts), "".join(r_parts)
+            elif c == "," and depth == 1:
+                s_parts.append(s[start:i])
+                r_parts.append(r[start:i])
+                return "".join(s_parts), "".join(r_parts)
+        s_parts.append(s[start:])
+        r_parts.append(r[start:])
+    return "".join(s_parts), "".join(r_parts)
+
+
+def check_metric_calls(stripped_lines, raw_lines):
+    """metric-name / metric-concat: validates the name argument of every
+    MetricsRegistry::{counter,gauge,distribution} call. Only the first
+    argument is inspected (the second is the free-form unit). A call
+    whose first argument holds no string literal and no concatenation
+    passes a pre-composed name — legal by construction."""
+    findings = []
+    for lineno, line in enumerate(stripped_lines, 1):
+        for m in METRIC_CALL_RE.finditer(line):
+            s_arg, r_arg = first_arg_region(
+                stripped_lines, raw_lines, lineno, m.end()
+            )
+            if METRIC_CONCAT_RE.search(s_arg):
+                findings.append(
+                    (
+                        lineno,
+                        "metric-concat",
+                        "metric name built by concatenation at the call "
+                        "site; every record re-allocates the name and "
+                        "re-walks the registry map — compose dynamic names "
+                        "once, outside the recording path",
+                    )
+                )
+                continue
+            for lit in STRING_LIT_RE.findall(r_arg):
+                if not METRIC_NAME_RE.match(lit):
+                    findings.append(
+                        (
+                            lineno,
+                            "metric-name",
+                            f'metric name "{lit}" must be dot-separated '
+                            "<layer>.<subsystem>.<metric> with the layer "
+                            "one of {" + ", ".join(METRIC_LAYERS) + "}",
+                        )
+                    )
+    return findings
+
+
 def lint_file(root, relpath, allowlist):
     path = os.path.join(root, relpath)
     try:
@@ -308,6 +405,11 @@ def lint_file(root, relpath, allowlist):
         ):
             emit("unordered-iter", lineno, message)
 
+    for lineno, rule_name, message in check_metric_calls(
+        stripped_lines, raw_lines
+    ):
+        emit(rule_name, lineno, message)
+
     return findings
 
 
@@ -339,6 +441,16 @@ def main():
         print(
             "unordered-iter: iteration over std::unordered_{map,set} in "
             + ", ".join(DETERMINISTIC_DIRS)
+        )
+        print(
+            "metric-name: metric name literals must be "
+            "<layer>.<subsystem>.<metric>, layer in {"
+            + ", ".join(METRIC_LAYERS)
+            + "}"
+        )
+        print(
+            "metric-concat: no string concatenation in the name argument "
+            "of metric calls (hot-path allocation)"
         )
         return 0
 

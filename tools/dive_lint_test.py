@@ -284,4 +284,109 @@ expect(
     should_fail=False,
 )
 
+# --- metric-name / metric-concat -------------------------------------
+
+METRICS_PRELUDE = (
+    "namespace dive::core {\n"
+    "void record(dive::obs::MetricsRegistry& m) {\n"
+)
+METRICS_EPILOGUE = "}\n}\n"
+
+
+def metric_file(body):
+    return {"src/core/agent.cpp": METRICS_PRELUDE + body + METRICS_EPILOGUE}
+
+
+expect(
+    "well-formed layer-prefixed metric names pass",
+    metric_file(
+        '  m.counter("agent.frames").add();\n'
+        '  m.distribution("net.transmit_ms", "ms").add(1.0);\n'
+        '  m.gauge("obs.ledger.frames", "count").set(1.0);\n'
+    ),
+    should_fail=False,
+)
+
+expect(
+    "unknown layer prefix fails",
+    metric_file('  m.counter("pipeline.frames").add();\n'),
+    should_fail=True,
+    needle="metric-name",
+)
+
+expect(
+    "dotless metric name fails",
+    metric_file('  m.counter("frames").add();\n'),
+    should_fail=True,
+    needle="metric-name",
+)
+
+expect(
+    "the unit argument is free-form (not name-checked)",
+    metric_file('  m.distribution("agent.fg_area_pct", "%").add(1.0);\n'),
+    should_fail=False,
+)
+
+expect(
+    "ternary of two valid literals passes",
+    metric_file(
+        '  m.counter(true ? "roi.gated_frames" : "roi.full_frames").add();\n'
+    ),
+    should_fail=False,
+)
+
+expect(
+    "ternary with one malformed literal fails",
+    metric_file(
+        '  m.counter(true ? "roi.gated_frames" : "fullFrames").add();\n'
+    ),
+    should_fail=True,
+    needle="metric-name",
+)
+
+expect(
+    "concatenated metric name on the recording path fails",
+    metric_file(
+        "  int i = 3;\n"
+        '  m.counter("agent.session." + std::to_string(i)).add();\n'
+    ),
+    should_fail=True,
+    needle="metric-concat",
+)
+
+expect(
+    "operator+ of two name fragments fails",
+    metric_file('  m.distribution(prefix + suffix, "ms").add(1.0);\n'),
+    should_fail=True,
+    needle="metric-concat",
+)
+
+expect(
+    "pre-composed name variable passes (composed off the hot path)",
+    metric_file('  m.distribution(name, "ms").add(1.0);\n'),
+    should_fail=False,
+)
+
+expect(
+    "metric call spanning lines: name on the continuation line checks",
+    metric_file('  m.distribution(\n      "bogus.metric", "ms").add(1.0);\n'),
+    should_fail=True,
+    needle="metric-name",
+)
+
+expect(
+    "metric name inside a comment does not count",
+    metric_file('  // m.counter("bogus.frames") would be wrong\n'),
+    should_fail=False,
+)
+
+expect(
+    "allow(metric-concat) escape suppresses the finding",
+    metric_file(
+        '  m.counter("agent.x." + std::to_string(1))'
+        ".add();  // dive-lint: allow(metric-concat)\n"
+    ),
+    should_fail=False,
+)
+
 print(f"dive_lint self-test: {PASSED} cases passed")

@@ -1,0 +1,390 @@
+#!/usr/bin/env python3
+"""trace_report: renders DiVE's frame ledger (and optionally the Chrome
+trace) into a per-stage latency waterfall and a deadline-miss autopsy.
+
+Inputs are the deterministic observability exports (DESIGN §15):
+
+  --ledger LEDGER.json   FrameLedger::write_json — one record per
+                         captured frame: capture/deadline/finish times,
+                         outcome, and the stage intervals (encode,
+                         sidecar, uplink_queue, transmit, propagation,
+                         admission_wait, batch_wait, inference, result).
+  --trace TRACE.json     optional Tracer::write_chrome_json — used to
+                         cross-check that the flow arrows ("frame" flow
+                         events) cover the ledger's frames.
+
+Report sections:
+  waterfall   aggregate per-stage mean/p50/p99 and share of attributed
+              time, with a proportional bar per stage in pipeline order;
+  sessions    per-session outcome counts and e2e percentiles;
+  autopsy     every dropped / late frame grouped by (outcome, dominant
+              stage), plus the worst offenders with per-frame waterfalls;
+  diagnosis   one line naming the bottleneck regime: where the p99
+              frame's budget went and what that means for the deployment
+              (node-saturated vs uplink-bound vs inference-bound ...).
+
+--check turns the report into an acceptance gate (exit 1 on failure):
+  - every terminal frame's stage intervals attribute >= 95% of its
+    end-to-end latency (nothing unexplained in the budget);
+  - every dropped or deadline-missing frame carries a dominant-stage
+    cause;
+  - with --trace: every multi-span frame's flow id appears as a flow
+    event chain (s/t/f) in the trace.
+
+Exit codes: 0 ok, 1 check failure, 2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+# Pipeline order; must match obs::FrameStage (frame_ledger.h).
+STAGES = [
+    "encode",
+    "sidecar",
+    "uplink_queue",
+    "transmit",
+    "propagation",
+    "admission_wait",
+    "batch_wait",
+    "inference",
+    "result",
+]
+
+DROP_OUTCOMES = {"dropped_uplink", "dropped_queue", "dropped_deadline"}
+MISS_OUTCOMES = DROP_OUTCOMES | {"completed_late"}
+
+# What a dominant stage says about the deployment when frames miss their
+# deadline there. Keyed by stage; the value is the overload diagnosis.
+DIAGNOSES = {
+    "encode": "agent-bound: the encoder eats the budget before upload",
+    "sidecar": "agent-bound: sidecar serialization dominates",
+    "uplink_queue": "uplink-bound: frames queue behind earlier transmits "
+    "(bandwidth below the encoded bitrate)",
+    "transmit": "uplink-bound: serialization time dominates "
+    "(bandwidth too low for the frame size)",
+    "propagation": "network-bound: propagation delay dominates",
+    "admission_wait": "node-saturated: frames wait for a free "
+    "worker+batch window (add workers or shed sessions)",
+    "batch_wait": "batching-bound: the batch window adds more wait than "
+    "it amortizes (shrink window or batch size)",
+    "inference": "inference-bound: model latency dominates "
+    "(smaller model or faster accelerator)",
+    "result": "downlink-bound: returning results dominates",
+}
+
+
+def die(msg):
+    print(f"trace_report: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_json(path, what):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"unreadable {what} {path!r}: {e}")
+
+
+def percentile(sorted_vals, q):
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(q * (len(sorted_vals) - 1) + 0.5))
+    return sorted_vals[idx]
+
+
+class Frame:
+    def __init__(self, rec):
+        self.session = rec["session"]
+        self.frame = rec["frame"]
+        self.seq = rec["seq"]
+        self.capture = rec["capture_us"]
+        self.deadline = rec["deadline_us"]
+        self.finished = rec["finished_us"]
+        self.outcome = rec["outcome"]
+        self.stage_ms = {}
+        for s in rec["stages"]:
+            self.stage_ms[s["stage"]] = (s["end_us"] - s["begin_us"]) / 1000.0
+
+    @property
+    def e2e_ms(self):
+        if self.outcome == "pending":
+            return 0.0
+        return (self.finished - self.capture) / 1000.0
+
+    @property
+    def attributed_ms(self):
+        return sum(self.stage_ms.values())
+
+    @property
+    def dominant(self):
+        """(stage, ms) of the longest recorded stage, pipeline order on
+        ties; (None, 0) when nothing was recorded."""
+        best, best_ms = None, -1.0
+        for s in STAGES:
+            ms = self.stage_ms.get(s)
+            if ms is not None and ms > best_ms:
+                best, best_ms = s, ms
+        return best, max(best_ms, 0.0)
+
+    @property
+    def attribution(self):
+        """Fraction of e2e latency the stages explain (1.0 when e2e=0)."""
+        e2e = self.e2e_ms
+        return self.attributed_ms / e2e if e2e > 0 else 1.0
+
+
+def bar(value, maximum, width=32):
+    if maximum <= 0:
+        return ""
+    n = int(round(width * value / maximum))
+    return "#" * max(0, min(width, n))
+
+
+def print_waterfall(frames):
+    print("== per-stage waterfall (all frames that visited the stage) ==")
+    per_stage = {s: [] for s in STAGES}
+    for fr in frames:
+        for s, ms in fr.stage_ms.items():
+            per_stage.setdefault(s, []).append(ms)
+    total_attr = sum(sum(v) for v in per_stage.values())
+    means = {
+        s: (sum(v) / len(v) if v else 0.0) for s, v in per_stage.items()
+    }
+    max_mean = max(means.values(), default=0.0)
+    header = (
+        f"{'stage':<15} {'frames':>6} {'mean_ms':>8} {'p50_ms':>8} "
+        f"{'p99_ms':>8} {'share':>6}"
+    )
+    print(header)
+    print("-" * (len(header) + 34))
+    for s in STAGES:
+        vals = sorted(per_stage.get(s, []))
+        if not vals:
+            continue
+        mean = means[s]
+        share = 100.0 * sum(vals) / total_attr if total_attr > 0 else 0.0
+        print(
+            f"{s:<15} {len(vals):>6} {mean:>8.3f} "
+            f"{percentile(vals, 0.50):>8.3f} {percentile(vals, 0.99):>8.3f} "
+            f"{share:>5.1f}%  {bar(mean, max_mean)}"
+        )
+    print()
+
+
+def print_sessions(frames):
+    print("== per-session outcomes and latency ==")
+    sessions = {}
+    for fr in frames:
+        sessions.setdefault(fr.session, []).append(fr)
+    header = (
+        f"{'session':>7} {'frames':>6} {'done':>5} {'late':>5} {'drop':>5} "
+        f"{'e2e_mean':>9} {'e2e_p95':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for sid in sorted(sessions):
+        frs = sessions[sid]
+        done = sum(1 for f in frs if f.outcome == "completed")
+        late = sum(1 for f in frs if f.outcome == "completed_late")
+        drop = sum(1 for f in frs if f.outcome in DROP_OUTCOMES)
+        e2e = sorted(f.e2e_ms for f in frs if f.outcome not in ("pending",))
+        mean = sum(e2e) / len(e2e) if e2e else 0.0
+        print(
+            f"{sid:>7} {len(frs):>6} {done:>5} {late:>5} {drop:>5} "
+            f"{mean:>9.1f} {percentile(e2e, 0.95):>8.1f}"
+        )
+    print()
+
+
+def print_autopsy(frames, top):
+    missed = [f for f in frames if f.outcome in MISS_OUTCOMES]
+    print(
+        f"== deadline-miss autopsy: {len(missed)} dropped/late of "
+        f"{len(frames)} frames =="
+    )
+    if not missed:
+        print("every frame completed within its deadline")
+        print()
+        return
+    rollup = {}
+    for fr in missed:
+        stage, _ = fr.dominant
+        key = (fr.outcome, stage or "<none>")
+        rollup[key] = rollup.get(key, 0) + 1
+    for (outcome, stage), count in sorted(
+        rollup.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {count:>5}  {outcome:<17} dominated by {stage}")
+    worst = sorted(missed, key=lambda f: -f.dominant[1])[:top]
+    if worst:
+        print(f"\n  worst {len(worst)} offenders:")
+        for fr in worst:
+            stage, ms = fr.dominant
+            print(
+                f"    s{fr.session} f{fr.frame} {fr.outcome}: "
+                f"{stage} ate {ms:.1f} ms of {fr.e2e_ms:.1f} ms"
+            )
+            max_ms = max(fr.stage_ms.values(), default=0.0)
+            for s in STAGES:
+                if s in fr.stage_ms:
+                    print(
+                        f"      {s:<15} {fr.stage_ms[s]:>8.3f} ms  "
+                        f"{bar(fr.stage_ms[s], max_ms, 24)}"
+                    )
+    print()
+
+
+def print_diagnosis(frames):
+    missed = [f for f in frames if f.outcome in MISS_OUTCOMES]
+    print("== diagnosis ==")
+    if not missed:
+        completed = [f for f in frames if f.outcome == "completed"]
+        if completed:
+            e2e = sorted(f.e2e_ms for f in completed)
+            print(
+                f"healthy: {len(completed)} frames completed in time "
+                f"(e2e p95 {percentile(e2e, 0.95):.1f} ms); no overload"
+            )
+        else:
+            print("no terminal frames recorded")
+        print()
+        return
+    # Where did the missed frames' time actually go?
+    stage_totals = {}
+    for fr in missed:
+        for s, ms in fr.stage_ms.items():
+            stage_totals[s] = stage_totals.get(s, 0.0) + ms
+    dominant = max(
+        STAGES,
+        key=lambda s: (stage_totals.get(s, 0.0), -STAGES.index(s)),
+    )
+    share = (
+        100.0 * stage_totals.get(dominant, 0.0) / sum(stage_totals.values())
+        if stage_totals
+        else 0.0
+    )
+    print(
+        f"{len(missed)}/{len(frames)} frames dropped or late; "
+        f"'{dominant}' holds {share:.0f}% of their attributed time"
+    )
+    print(f"=> {DIAGNOSES.get(dominant, 'unclassified bottleneck')}")
+    print()
+
+
+def check_trace_flows(trace, frames):
+    """Flow arrows vs. ledger: every flow-event chain must be well formed
+    (s ... f, >= 2 members) and belong to a minted frame, and every
+    completed frame must have a chain (a completed frame always crosses
+    tracks: encode on the agent/session track, service on the edge/serve
+    side). Returns error strings."""
+    events = trace.get("traceEvents", [])
+    flow_phases = {}  # flow id -> ph sequence in file order
+    for ev in events:
+        if ev.get("cat") == "flow":
+            flow_phases.setdefault(ev["id"], []).append(ev["ph"])
+    errors = []
+    by_seq = {f.seq: f for f in frames}
+    for flow_id, phases in sorted(flow_phases.items()):
+        if flow_id not in by_seq:
+            errors.append(
+                f"flow id {flow_id} has no matching ledger frame"
+            )
+        if len(phases) < 2 or phases[0] != "s" or phases[-1] != "f" or any(
+            p != "t" for p in phases[1:-1]
+        ):
+            errors.append(
+                f"flow chain for seq {flow_id} malformed: {phases}"
+            )
+    for fr in frames:
+        if fr.outcome in ("completed", "completed_late") and (
+            fr.seq not in flow_phases
+        ):
+            errors.append(
+                f"completed frame s{fr.session} f{fr.frame} (seq {fr.seq}) "
+                f"has no flow arrows in the trace"
+            )
+    return errors
+
+
+def run_checks(frames, trace):
+    errors = []
+    for fr in frames:
+        if fr.outcome == "pending":
+            continue
+        if fr.e2e_ms > 0 and fr.attribution < 0.95:
+            errors.append(
+                f"frame s{fr.session} f{fr.frame}: stages attribute only "
+                f"{100.0 * fr.attribution:.1f}% of {fr.e2e_ms:.1f} ms e2e"
+            )
+    for fr in frames:
+        if fr.outcome not in MISS_OUTCOMES:
+            continue
+        stage, ms = fr.dominant
+        if stage is None or (ms <= 0.0 and fr.e2e_ms > 0.0):
+            errors.append(
+                f"frame s{fr.session} f{fr.frame} ({fr.outcome}): no "
+                f"dominant-stage cause recorded"
+            )
+    if trace is not None:
+        errors.extend(check_trace_flows(trace, frames))
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("--ledger", required=True, help="FrameLedger JSON")
+    ap.add_argument("--trace", help="Chrome trace JSON (flow cross-check)")
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce attribution/autopsy/flow invariants (exit 1 on fail)",
+    )
+    ap.add_argument(
+        "--top", type=int, default=3, help="worst offenders to detail"
+    )
+    args = ap.parse_args()
+
+    ledger = load_json(args.ledger, "ledger")
+    if ledger.get("schema") != 1:
+        die(f"unsupported ledger schema {ledger.get('schema')!r}")
+    frames = [Frame(rec) for rec in ledger.get("frames", [])]
+    if not frames:
+        die("ledger holds no frames")
+    trace = load_json(args.trace, "trace") if args.trace else None
+
+    terminal = [f for f in frames if f.outcome != "pending"]
+    attributed = sum(f.attributed_ms for f in terminal)
+    e2e = sum(f.e2e_ms for f in terminal)
+    print(
+        f"ledger: {len(frames)} frames ({len(terminal)} terminal), "
+        f"{100.0 * attributed / e2e if e2e > 0 else 100.0:.1f}% of "
+        f"end-to-end latency attributed to named stages\n"
+    )
+    print_waterfall(frames)
+    print_sessions(frames)
+    print_autopsy(frames, args.top)
+    print_diagnosis(frames)
+
+    if args.check:
+        errors = run_checks(frames, trace)
+        if errors:
+            print(f"check FAILED ({len(errors)} violations):")
+            for e in errors[:20]:
+                print(f"  {e}")
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more")
+            return 1
+        checks = "attribution>=95%, autopsy causes"
+        if trace is not None:
+            checks += ", flow chains"
+        print(f"check OK ({checks})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
