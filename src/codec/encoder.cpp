@@ -185,6 +185,7 @@ void Encoder::set_obs(obs::ObsContext* obs) {
   obs_handles_.prefetch_misses = &m.counter("codec.prefetch.misses");
   obs_handles_.skip_skipped_mbs = &m.counter("codec.skip.skipped_mbs");
   obs_handles_.skip_inter_mbs = &m.counter("codec.skip.inter_mbs");
+  obs_handles_.scene_cuts = &m.counter("codec.scene_cuts");
   obs_handles_.bytes_per_frame =
       &m.distribution("codec.bytes_per_frame", "bytes");
   obs_handles_.base_qp = &m.distribution("codec.base_qp", "qp");
@@ -255,10 +256,31 @@ void Encoder::launch_prefetch(const video::Frame& next_src) {
   });
 }
 
-FrameType Encoder::next_frame_type() const {
+namespace {
+/// Mean luma of a plane via an exact integer sum (deterministic: no
+/// float-reduction ordering hazards on this path).
+double mean_luma(const video::Plane& p) {
+  std::uint64_t sum = 0;
+  for (const std::uint8_t v : p.data) sum += v;
+  const auto n = static_cast<std::uint64_t>(p.width) *
+                 static_cast<std::uint64_t>(p.height);
+  return n > 0 ? static_cast<double>(sum) / static_cast<double>(n) : 0.0;
+}
+}  // namespace
+
+FrameType Encoder::next_frame_type(const video::Frame& src) {
   if (force_intra_ || !has_reference_) return FrameType::kIntra;
   if (config_.gop_length > 0 && frame_index_ % config_.gop_length == 0)
     return FrameType::kIntra;
+  if (config_.scene_change_detection && config_.scene_change_luma_delta > 0.0) {
+    const double step =
+        std::abs(mean_luma(src.y) - mean_luma(reference_.y));
+    if (step > config_.scene_change_luma_delta) {
+      ++scene_changes_;
+      if (obs_handles_.scene_cuts != nullptr) obs_handles_.scene_cuts->add();
+      return FrameType::kIntra;
+    }
+  }
   return FrameType::kInter;
 }
 
@@ -566,7 +588,7 @@ EncodedFrame Encoder::encode(const video::Frame& src, int base_qp,
   DIVE_OBS_SPAN(span, obs_, "codec.encode", obs::kTrackCodec);
   span.flow(frame_ctx_);
   span.arg("base_qp", base_qp);
-  const FrameType type = next_frame_type();
+  const FrameType type = next_frame_type(src);
   MotionField local;
   if (type == FrameType::kInter && motion == nullptr) {
     local = analyze_motion(src);  // drains/consumes any pending prefetch
@@ -609,7 +631,7 @@ EncodedFrame Encoder::encode_to_target(const video::Frame& src,
   DIVE_OBS_SPAN(span, obs_, "codec.encode_to_target", obs::kTrackCodec);
   span.flow(frame_ctx_);
   span.arg("target_bytes", static_cast<long long>(target_bytes));
-  const FrameType type = next_frame_type();
+  const FrameType type = next_frame_type(src);
   MotionField local;
   if (type == FrameType::kInter && motion == nullptr) {
     local = analyze_motion(src);  // drains/consumes any pending prefetch

@@ -82,6 +82,16 @@ struct EncoderConfig {
   /// Luma SAD budget (16x16, so 512 = 2 per pixel) under which a
   /// macroblock is forced to SKIP. Only meaningful with skip_blocks.
   int skip_threshold = 512;
+  /// Average-luma scene-change detection (the DSV encoders' heuristic):
+  /// when the mean luma of the incoming frame differs from the current
+  /// reference's by more than scene_change_luma_delta, the frame is
+  /// coded intra — a global luma step (tunnel entry/exit, lighting cut)
+  /// would otherwise leave every macroblock with a large DC residual and
+  /// defeat SKIP/temporal prediction for the rest of the GoP. Forcing
+  /// the I-frame resets the temporal chain exactly like a cold start.
+  bool scene_change_detection = true;
+  /// Mean-luma step (DN, 0..255 scale) that triggers the cut detector.
+  double scene_change_luma_delta = 24.0;
 };
 
 /// Accounting of the most recent encode_to_target call.
@@ -203,6 +213,10 @@ class Encoder {
   };
   [[nodiscard]] const SkipStats& skip_stats() const { return skip_stats_; }
 
+  /// Scene cuts detected so far (frames forced intra by the average-luma
+  /// change heuristic; GoP-boundary and requested intras don't count).
+  [[nodiscard]] long scene_change_count() const { return scene_changes_; }
+
   /// Resolved worker-lane count (after DIVE_THREADS / hardware defaults).
   [[nodiscard]] int thread_count() const {
     return pool_ ? pool_->thread_count() : 1;
@@ -256,7 +270,10 @@ class Encoder {
     MotionField field;
   };
 
-  [[nodiscard]] FrameType next_frame_type() const;
+  /// Frame-type decision for `src`: forced/GoP intra checks plus the
+  /// average-luma scene-change detector (which needs the source pixels).
+  /// Non-const: detected cuts are counted.
+  [[nodiscard]] FrameType next_frame_type(const video::Frame& src);
   [[nodiscard]] InterPlan build_inter_plan(const video::Frame& src,
                                            const MotionField& motion) const;
   [[nodiscard]] PreparedInter prepare_inter_trial(const InterPlan& plan,
@@ -308,6 +325,7 @@ class Encoder {
     obs::Counter* prefetch_misses = nullptr;
     obs::Counter* skip_skipped_mbs = nullptr;
     obs::Counter* skip_inter_mbs = nullptr;
+    obs::Counter* scene_cuts = nullptr;
     obs::Distribution* bytes_per_frame = nullptr;
     obs::Distribution* base_qp = nullptr;
     obs::Distribution* psnr_y = nullptr;
@@ -326,6 +344,7 @@ class Encoder {
   int last_qp_ = 30;
   RateControlStats rc_stats_;
   SkipStats skip_stats_;
+  long scene_changes_ = 0;
   mutable PrefetchStats prefetch_stats_;
   /// Lazily created on the first next_src hint; must stay the LAST
   /// member so its destructor drains the background task before the

@@ -145,8 +145,16 @@ Clip generate_clip(const DatasetSpec& spec, int clip_index) {
   util::Rng rng = root.fork(static_cast<std::uint64_t>(clip_index));
 
   const double duration = spec.frames_per_clip / spec.fps;
-  const video::EgoTrajectory trajectory =
-      make_trajectory(spec, duration + 0.5, rng);
+  video::EgoTrajectory trajectory = make_trajectory(spec, duration + 0.5, rng);
+  if (spec.vibration.enabled()) {
+    // Dedicated fork: enabling vibration must not perturb the scene /
+    // noise / imu streams of the base world.
+    util::Rng vib_rng = rng.fork(4);
+    video::CameraVibration vib = spec.vibration;
+    vib.pitch_phase = vib_rng.uniform(0.0, 6.28318530718);
+    vib.yaw_phase = vib_rng.uniform(0.0, 6.28318530718);
+    trajectory.set_vibration(vib);
+  }
 
   // Corridor length: from a little behind the start to past the farthest
   // point the ego reaches plus visibility range.
@@ -161,7 +169,10 @@ Clip generate_clip(const DatasetSpec& spec, int clip_index) {
   const double z_hi = z_max + 140.0 + x_extent;
   const double corridor_m = z_hi - z_lo;
 
-  video::Scene scene;
+  video::SceneParams scene_params;
+  scene_params.conditions = spec.conditions;
+  scene_params.luma_noise_amplitude = spec.luma_noise_amplitude;
+  video::Scene scene(scene_params);
   util::Rng scene_rng = rng.fork(1);
   scene.add_buildings(z_lo, z_hi, scene_rng);
   scene.add_parked_cars(
@@ -179,7 +190,9 @@ Clip generate_clip(const DatasetSpec& spec, int clip_index) {
   clip.camera = geom::PinholeCamera(spec.focal_px, spec.width, spec.height);
   clip.fps = spec.fps;
 
-  const video::Renderer renderer(clip.camera);
+  video::RenderOptions render_options;
+  render_options.rain_streak_density = spec.rain_streak_density;
+  const video::Renderer renderer(clip.camera, render_options);
   util::Rng noise_rng = rng.fork(2);
   clip.frames.reserve(static_cast<std::size_t>(spec.frames_per_clip));
   for (int i = 0; i < spec.frames_per_clip; ++i) {
@@ -187,7 +200,10 @@ Clip generate_clip(const DatasetSpec& spec, int clip_index) {
     FrameRecord rec;
     rec.timestamp = t;
     rec.ego = trajectory.state_at(t);
-    rec.motion_state = classify_motion(rec.ego);
+    // Motion-state labels classify the drive, not the camera shake: the
+    // vibration-free base state keeps Fig. 14 buckets stable under the
+    // vibration condition.
+    rec.motion_state = classify_motion(trajectory.base_state_at(t));
     auto rendered = renderer.render(
         scene, t, rec.ego.camera_pose(),
         static_cast<std::uint64_t>(noise_rng.uniform_int(0, 1 << 30)));

@@ -51,6 +51,22 @@ struct DatasetSpec {
   // Trajectory profile mix.
   double stop_and_go_fraction = 0.25;
   double turning_fraction = 0.2;
+
+  // ---- Hostile-conditions layer (DESIGN.md §16) ----
+  // Defaults are a no-op: a default-conditions spec generates clips
+  // bit-identical to a build without the layer.
+
+  /// Scene/illumination conditions (night, fog haze, tunnel luma steps).
+  video::SceneConditions conditions;
+  /// Per-pixel sensor noise amplitude forwarded to SceneParams (night
+  /// presets elevate it).
+  double luma_noise_amplitude = 1.5;
+  /// Rain droplet streaks (RenderOptions::rain_streak_density).
+  double rain_streak_density = 0.0;
+  /// Camera rotation jitter injected into every clip's trajectory.
+  /// Phases are drawn per clip from the clip's forked RNG stream, so
+  /// amplitudes/frequency here fully determine the ensemble.
+  video::CameraVibration vibration;
 };
 
 /// Paper-matched presets (reduced resolution; see DESIGN.md).

@@ -3,8 +3,20 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace dive::video {
+
+void validate(const RenderOptions& options) {
+  if (options.min_annotation_pixels < 0)
+    throw std::invalid_argument(
+        "RenderOptions: negative min_annotation_pixels");
+  if (options.rain_streak_density < 0.0 || options.rain_streak_density > 1.0)
+    throw std::invalid_argument(
+        "RenderOptions: rain_streak_density outside [0, 1]");
+  if (options.rain_streak_luma < 0.0)
+    throw std::invalid_argument("RenderOptions: negative rain_streak_luma");
+}
 
 namespace {
 
@@ -305,6 +317,42 @@ RenderResult Renderer::render(const Scene& scene, double t,
       static_cast<std::uint32_t>(noise_seed ^ (noise_seed >> 32));
   const SceneParams& sp = scene.params();
 
+  // Hostile-conditions layer (DESIGN.md §16). All branches below are
+  // gated so the default (clear daylight) render is bit-identical to a
+  // build without the layer.
+  const SceneConditions& cond = sp.conditions;
+  const double cond_luma = cond.luma_scale_at(t);
+  const bool dim_on = cond_luma != 1.0;
+  const bool fog_on = cond.fog_attenuation > 0.0;
+  // Low light compresses chroma toward neutral as well: the detector's
+  // chroma keys erode with illumination, like a real DNN's features.
+  const double chroma_keep = 0.35 + 0.65 * std::min(1.0, cond_luma);
+
+  // Rain droplet streaks: one candidate streak per 8-pixel column band,
+  // activated and positioned by a pure hash of the frame noise seed, so
+  // every frame gets a fresh fast-falling pattern deterministically.
+  const bool rain_on = options_.rain_streak_density > 0.0;
+  std::vector<std::int32_t> streak_y0;
+  std::vector<std::int32_t> streak_len;
+  if (rain_on) {
+    streak_y0.assign(static_cast<std::size_t>(W), -1);
+    streak_len.assign(static_cast<std::size_t>(W), 0);
+    for (int cell = 0; cell * 8 < W; ++cell) {
+      const std::uint32_t h = hash2(cell, 911, frame_noise ^ 0x9A1Du);
+      if (static_cast<double>(h & 0xFFFFu) / 65536.0 >=
+          options_.rain_streak_density)
+        continue;
+      const int x = cell * 8 + static_cast<int>((h >> 16) & 7u);
+      if (x >= W) continue;
+      const std::uint32_t h2v = hash2(cell, 912, frame_noise ^ 0x9A1Du);
+      streak_y0[static_cast<std::size_t>(x)] =
+          static_cast<std::int32_t>(h2v % static_cast<std::uint32_t>(H));
+      streak_len[static_cast<std::size_t>(x)] = static_cast<std::int32_t>(
+          H / 6 + static_cast<int>((h2v >> 8) % static_cast<std::uint32_t>(
+                                       std::max(1, H / 4))));
+    }
+  }
+
   std::vector<Yuv> row_yuv(static_cast<std::size_t>(W));
   for (int py = 0; py < H; ++py) {
     const auto* tile_row =
@@ -362,6 +410,35 @@ RenderResult Renderer::render(const Scene& scene, double t,
         sh = shade_ground(sp, wx, wz);
       } else {
         sh = shade_sky(dir);
+      }
+
+      if (fog_on) {
+        // Depth-dependent contrast attenuation toward the haze tone; sky
+        // rays are infinitely far and fully hazed.
+        const double depth =
+            hit_obj >= 0 && best_t < ground_t ? best_t : ground_t;
+        const double vis = std::isfinite(depth)
+                               ? std::exp(-cond.fog_attenuation * depth)
+                               : 0.0;
+        sh.y = sh.y * vis + cond.fog_luma * (1.0 - vis);
+        sh.u = sh.u * vis + 128.0 * (1.0 - vis);
+        sh.v = sh.v * vis + 128.0 * (1.0 - vis);
+      }
+      if (dim_on) {
+        sh.y *= cond_luma;
+        sh.u = 128.0 + (sh.u - 128.0) * chroma_keep;
+        sh.v = 128.0 + (sh.v - 128.0) * chroma_keep;
+      }
+      if (rain_on && streak_y0[static_cast<std::size_t>(px)] >= 0) {
+        // Streaks sit on the lens: applied after fog/dimming, luma only,
+        // fading along the streak. Row distance wraps so density stays
+        // uniform over the frame.
+        int d = py - streak_y0[static_cast<std::size_t>(px)];
+        if (d < 0) d += H;
+        const std::int32_t len = streak_len[static_cast<std::size_t>(px)];
+        if (d < len)
+          sh.y += options_.rain_streak_luma *
+                  (1.0 - static_cast<double>(d) / static_cast<double>(len));
       }
 
       if (options_.sensor_noise) {

@@ -39,12 +39,26 @@ struct RenderOptions {
   int min_annotation_pixels = 30;
   /// Disable sensor noise (tests).
   bool sensor_noise = true;
+  /// Rain droplet streaks (DESIGN.md §16): expected fraction of 8-pixel
+  /// screen columns carrying a bright streak per frame, in [0, 1]. The
+  /// streak layout is a pure hash of the per-frame noise seed, so renders
+  /// stay deterministic and every frame gets a fresh (fast-falling)
+  /// streak pattern. 0 disables (bit-identical to no rain layer).
+  double rain_streak_density = 0.0;
+  /// Luma lift at a streak's core (falls off over the streak length).
+  double rain_streak_luma = 42.0;
 };
+
+/// Rejects out-of-domain render knobs with std::invalid_argument
+/// (rain density outside [0, 1], negative annotation floor).
+void validate(const RenderOptions& options);
 
 class Renderer {
  public:
   Renderer(geom::PinholeCamera camera, RenderOptions options = {})
-      : camera_(camera), options_(options) {}
+      : camera_(camera), options_(options) {
+    validate(options_);
+  }
 
   [[nodiscard]] const geom::PinholeCamera& camera() const { return camera_; }
 

@@ -4,6 +4,28 @@
 
 namespace dive::video {
 
+void validate(const SceneParams& params) {
+  if (params.luma_noise_amplitude < 0.0)
+    throw std::invalid_argument("SceneParams: negative luma_noise_amplitude");
+  if (params.texture_scale <= 0.0)
+    throw std::invalid_argument("SceneParams: non-positive texture_scale");
+  const SceneConditions& c = params.conditions;
+  if (c.luma_scale <= 0.0)
+    throw std::invalid_argument("SceneConditions: non-positive luma_scale");
+  if (c.fog_attenuation < 0.0 || c.fog_attenuation > 1.0)
+    throw std::invalid_argument(
+        "SceneConditions: fog_attenuation outside [0, 1]");
+  if (c.fog_luma < 0.0 || c.fog_luma > 255.0)
+    throw std::invalid_argument("SceneConditions: fog_luma outside [0, 255]");
+  for (const TunnelSegment& seg : c.tunnels) {
+    if (seg.luma_scale <= 0.0)
+      throw std::invalid_argument(
+          "TunnelSegment: non-positive luma_scale");
+    if (seg.exit_t <= seg.enter_t)
+      throw std::invalid_argument("TunnelSegment: exit_t <= enter_t");
+  }
+}
+
 const char* to_string(ObjectClass cls) {
   switch (cls) {
     case ObjectClass::kCar: return "car";

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "geom/vec.h"
@@ -42,6 +43,44 @@ struct SceneObject {
   [[nodiscard]] double yaw_at(double t) const { return track.heading_at(t); }
 };
 
+/// Scripted global luma step: while t is inside [enter_t, exit_t) the
+/// frame-wide illumination is multiplied by luma_scale. Models tunnel
+/// entry/exit — the entry and exit edges are the two luma steps the
+/// encoder's average-luma scene-change detection must catch.
+struct TunnelSegment {
+  double enter_t = 0.0;
+  double exit_t = 0.0;
+  double luma_scale = 0.22;
+};
+
+/// Composable hostile-condition models layered over the base world
+/// (DESIGN.md §16). Defaults are a no-op: with luma_scale == 1 and zero
+/// attenuation/tunnels the rendered bytes are bit-identical to a build
+/// without the conditions layer.
+struct SceneConditions {
+  /// Global illumination scale: 1 = clean daylight, ~0.4 = night. Also
+  /// compresses chroma contrast toward neutral, eroding the detector's
+  /// chroma keys the way low light erodes a real DNN's features.
+  double luma_scale = 1.0;
+  /// Depth-dependent contrast attenuation (fog/rain haze): per-meter
+  /// extinction in [0, 1]; visibility at depth d is exp(-attenuation*d)
+  /// and shading blends toward fog_luma / neutral chroma. Sky is treated
+  /// as infinitely far (fully hazed).
+  double fog_attenuation = 0.0;
+  double fog_luma = 150.0;  ///< haze tone blended in by the attenuation
+  /// Scripted luma steps (tunnels), applied multiplicatively on top of
+  /// luma_scale. Kept sorted by the caller; segments must not overlap.
+  std::vector<TunnelSegment> tunnels;
+
+  /// Effective global luma scale at simulation time t.
+  [[nodiscard]] double luma_scale_at(double t) const {
+    double s = luma_scale;
+    for (const TunnelSegment& seg : tunnels)
+      if (t >= seg.enter_t && t < seg.exit_t) s *= seg.luma_scale;
+    return s;
+  }
+};
+
 /// Road/texture parameters shared by the material shaders.
 struct SceneParams {
   double road_half_width = 6.0;   ///< meters; |x| < this is asphalt
@@ -53,11 +92,21 @@ struct SceneParams {
   /// Fraction of the ground with suppressed texture (plain patches that
   /// yield the noisy motion vectors called out in Sec. II-C).
   double plain_patch_fraction = 0.35;
+  /// Hostile-conditions layer (night/fog/tunnel); defaults are a no-op.
+  SceneConditions conditions;
 };
+
+/// Rejects out-of-domain knobs with std::invalid_argument: negative
+/// noise amplitude, attenuation outside [0, 1], non-positive texture or
+/// luma scales. Called by the Scene constructor so an invalid world can
+/// never be rendered.
+void validate(const SceneParams& params);
 
 class Scene {
  public:
-  explicit Scene(SceneParams params = {}) : params_(params) {}
+  explicit Scene(SceneParams params = {}) : params_(params) {
+    validate(params_);
+  }
 
   void add_object(SceneObject obj) { objects_.push_back(std::move(obj)); }
 

@@ -42,6 +42,25 @@ EgoTrajectory::EgoTrajectory(std::vector<MotionSegment> segments,
 }
 
 EgoState EgoTrajectory::state_at(double t) const {
+  EgoState st = base_state_at(t);
+  if (vibration_.enabled()) {
+    // High-frequency rotation jitter, not speed-gated (a parked robot
+    // still shakes). Rates carry the analytic derivatives so the IMU
+    // synthesis sees the vibration too.
+    const double omega = 2.0 * std::numbers::pi * vibration_.frequency;
+    st.pitch += vibration_.pitch_amplitude *
+                std::sin(omega * t + vibration_.pitch_phase);
+    st.pitch_rate += vibration_.pitch_amplitude * omega *
+                     std::cos(omega * t + vibration_.pitch_phase);
+    st.yaw +=
+        vibration_.yaw_amplitude * std::sin(omega * t + vibration_.yaw_phase);
+    st.yaw_rate += vibration_.yaw_amplitude * omega *
+                   std::cos(omega * t + vibration_.yaw_phase);
+  }
+  return st;
+}
+
+EgoState EgoTrajectory::base_state_at(double t) const {
   t = std::clamp(t, 0.0, total_duration_);
   const double pos = t / dt_;
   const auto lo = std::min(static_cast<std::size_t>(pos), samples_.size() - 1);

@@ -48,13 +48,41 @@ struct PitchWobble {
   double phase = 0.0;
 };
 
+/// High-frequency rotation jitter riding on the trajectory (drone/robot
+/// mounts, hostile-conditions layer; DESIGN.md §16). Unlike PitchWobble
+/// it is not speed-gated — a hovering or parked agent still vibrates —
+/// and it shakes yaw as well as pitch, which is what stresses DiVE's
+/// R-sampling: the rotation estimator must track a rotation field that
+/// changes significantly between consecutive frames. Phases are seeded
+/// by the caller (util::Rng::fork) so renders stay deterministic.
+struct CameraVibration {
+  double pitch_amplitude = 0.0;  ///< radians; 0 disables
+  double yaw_amplitude = 0.0;    ///< radians; 0 disables
+  double frequency = 9.0;        ///< Hz; well above the wobble band
+  double pitch_phase = 0.0;
+  double yaw_phase = 0.0;
+
+  [[nodiscard]] bool enabled() const {
+    return pitch_amplitude > 0.0 || yaw_amplitude > 0.0;
+  }
+};
+
 class EgoTrajectory {
  public:
   /// `camera_height` meters above ground; `initial_speed` m/s.
   EgoTrajectory(std::vector<MotionSegment> segments, double camera_height,
                 double initial_speed, PitchWobble wobble = {});
 
+  /// Injects rotation jitter into every state_at() query (additive on
+  /// yaw/pitch and their rates). base_state_at() stays jitter-free.
+  void set_vibration(CameraVibration vibration) { vibration_ = vibration; }
+  [[nodiscard]] const CameraVibration& vibration() const { return vibration_; }
+
   [[nodiscard]] EgoState state_at(double t) const;
+  /// State without the injected camera vibration: the vehicle's actual
+  /// path. Used for motion-state labeling, which classifies the drive,
+  /// not the camera shake.
+  [[nodiscard]] EgoState base_state_at(double t) const;
   [[nodiscard]] double total_duration() const { return total_duration_; }
   [[nodiscard]] double camera_height() const { return camera_height_; }
 
@@ -89,6 +117,7 @@ class EgoTrajectory {
   double total_duration_ = 0.0;
   double camera_height_ = 1.5;
   PitchWobble wobble_;
+  CameraVibration vibration_;
 };
 
 /// Track of a dynamic (or parked) scene object. Objects translate with a

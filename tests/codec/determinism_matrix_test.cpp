@@ -227,6 +227,41 @@ TEST(DeterminismMatrix, AnalyzeMotionConsumesPrefetch) {
   EXPECT_EQ(ea.data, eb.data);
 }
 
+TEST(DeterminismMatrix, TunnelSequenceBytesIdentical) {
+  // Tunnel regression cell: a mid-sequence global luma step trips the
+  // encoder's scene-change detection, so this sequence exercises the
+  // forced-intra path (mid-GoP reset, discarded prefetch) in every cell.
+  // Threads x kernel x overlap must still agree byte-for-byte, including
+  // ON the cut frame.
+  std::vector<video::Frame> seq;
+  for (int i = 0; i < 6; ++i) {
+    video::Frame f = matrix_frame(128, 64, 900 + static_cast<std::uint64_t>(i),
+                                  i * 3);
+    if (i >= 2 && i < 4)  // frames 2..3 are "inside the tunnel"
+      for (auto& v : f.y.data)
+        v = static_cast<std::uint8_t>(v / 4);
+    seq.push_back(std::move(f));
+  }
+
+  const Cell base{1, SadKernelPolicy::kScalar, false, false};
+  const auto baseline = encode_fixed_qp(base, seq, 26);
+  // Entry (frame 2) and exit (frame 4) both force I-frames.
+  ASSERT_EQ(baseline[2].type, FrameType::kIntra);
+  ASSERT_EQ(baseline[3].type, FrameType::kInter);
+  ASSERT_EQ(baseline[4].type, FrameType::kIntra);
+
+  for (const Cell& c : matrix_cells(/*hme=*/false, /*skip=*/true)) {
+    const auto run = encode_fixed_qp(c, seq, 26);
+    ASSERT_EQ(run.size(), baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      ASSERT_EQ(run[i].type, baseline[i].type)
+          << cell_name(c) << " frame=" << i;
+      ASSERT_EQ(run[i].data, baseline[i].data)
+          << cell_name(c) << " frame=" << i;
+    }
+  }
+}
+
 TEST(DeterminismMatrix, DecoderAgreesUnderOverlap) {
   // The decoder's reconstruction must still track the encoder's reference
   // when frames are encoded with hints (early reference handoff).

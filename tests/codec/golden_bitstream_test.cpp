@@ -80,6 +80,32 @@ std::uint64_t sequence_digest(int qp,
   return h;
 }
 
+/// Tunnel variant of the golden sequence: frames 2..3 are darkened to a
+/// quarter of their luma, so the encoder's scene-change detection forces
+/// I-frames at the entry (frame 2) and exit (frame 4) steps. Pins the
+/// forced-intra path (mid-GoP reset) alongside the steady-state points.
+std::uint64_t tunnel_sequence_digest(int qp) {
+  Encoder enc({.width = 128, .height = 64, .threads = 2});
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto tunnel_frame = [](int i) {
+    video::Frame f = golden_frame(
+        128, 64, 1200 + static_cast<std::uint64_t>(i), i * 4);
+    if (i >= 2 && i < 4)
+      for (auto& v : f.y.data) v = static_cast<std::uint8_t>(v / 4);
+    return f;
+  };
+  for (int i = 0; i < 6; ++i) {
+    const video::Frame next = tunnel_frame(i + 1);
+    const EncodedFrame out =
+        enc.encode(tunnel_frame(i), qp, nullptr, nullptr,
+                   i < 5 ? &next : nullptr);
+    h ^= out.data.size();
+    h *= 0x100000001b3ULL;
+    h = fnv1a(h, out.data);
+  }
+  return h;
+}
+
 struct GoldenPoint {
   int qp;
   MotionSearchMethod method;
@@ -119,6 +145,23 @@ TEST(GoldenBitstream, DigestsMatchCheckedInConstants) {
         << "If not intentional: you broke the encoder — bisect, do not\n"
         << "re-bake.";
   }
+}
+
+// Baked from the canonical run the same way as kGolden. The existing
+// points above did NOT move when scene-change detection landed (the
+// steady-luma golden sequence never trips the 24 DN threshold); this
+// point is new and covers the sequence that does.
+constexpr std::uint64_t kTunnelGoldenQp30 = 0x7b8578602feff239ULL;
+
+TEST(GoldenBitstream, TunnelDigestMatchesCheckedInConstant) {
+  const std::uint64_t actual = tunnel_sequence_digest(30);
+  EXPECT_EQ(actual, kTunnelGoldenQp30)
+      << "\n"
+      << "GOLDEN BITSTREAM MISMATCH on the tunnel (scene-cut) sequence\n"
+      << "  expected digest: 0x" << std::hex << kTunnelGoldenQp30 << "\n"
+      << "  actual digest:   0x" << std::hex << actual << "\n"
+      << "Re-bake kTunnelGoldenQp30 only for INTENTIONAL format, RD, or\n"
+      << "scene-change-policy changes, and say so in the commit message.";
 }
 
 TEST(GoldenBitstream, GoldenSequenceStillDecodes) {

@@ -80,5 +80,77 @@ TEST(ObjectClassNames, Stable) {
   EXPECT_STREQ(to_string(ObjectClass::kBuilding), "building");
 }
 
+// --- SceneParams / condition-knob validation (one case per knob) ---
+
+TEST(SceneParamsValidate, AcceptsDefaultsAndConditions) {
+  SceneParams p;
+  p.conditions.luma_scale = 0.4;
+  p.conditions.fog_attenuation = 0.03;
+  TunnelSegment seg;
+  seg.enter_t = 1.0;
+  seg.exit_t = 2.0;
+  p.conditions.tunnels = {seg};
+  EXPECT_NO_THROW(Scene{p});
+}
+
+TEST(SceneParamsValidate, RejectsNegativeNoiseAmplitude) {
+  SceneParams p;
+  p.luma_noise_amplitude = -0.5;
+  EXPECT_THROW(Scene{p}, std::invalid_argument);
+}
+
+TEST(SceneParamsValidate, RejectsNonPositiveTextureScale) {
+  SceneParams p;
+  p.texture_scale = 0.0;
+  EXPECT_THROW(Scene{p}, std::invalid_argument);
+}
+
+TEST(SceneParamsValidate, RejectsNonPositiveLumaScale) {
+  SceneParams p;
+  p.conditions.luma_scale = 0.0;
+  EXPECT_THROW(Scene{p}, std::invalid_argument);
+}
+
+TEST(SceneParamsValidate, RejectsFogAttenuationOutsideUnitInterval) {
+  SceneParams p;
+  p.conditions.fog_attenuation = -0.01;
+  EXPECT_THROW(Scene{p}, std::invalid_argument);
+  p.conditions.fog_attenuation = 1.01;
+  EXPECT_THROW(Scene{p}, std::invalid_argument);
+}
+
+TEST(SceneParamsValidate, RejectsFogLumaOutsideByteRange) {
+  SceneParams p;
+  p.conditions.fog_luma = 260.0;
+  EXPECT_THROW(Scene{p}, std::invalid_argument);
+}
+
+TEST(SceneParamsValidate, RejectsDegenerateTunnel) {
+  SceneParams p;
+  TunnelSegment seg;
+  seg.enter_t = 2.0;
+  seg.exit_t = 2.0;  // exit must be strictly after entry
+  p.conditions.tunnels = {seg};
+  EXPECT_THROW(Scene{p}, std::invalid_argument);
+
+  seg.exit_t = 3.0;
+  seg.luma_scale = 0.0;
+  p.conditions.tunnels = {seg};
+  EXPECT_THROW(Scene{p}, std::invalid_argument);
+}
+
+TEST(SceneConditionsModel, TunnelScalesLumaInsideSegmentOnly) {
+  SceneConditions cond;
+  cond.luma_scale = 0.8;
+  TunnelSegment seg;
+  seg.enter_t = 1.0;
+  seg.exit_t = 2.0;
+  seg.luma_scale = 0.25;
+  cond.tunnels = {seg};
+  EXPECT_DOUBLE_EQ(cond.luma_scale_at(0.5), 0.8);
+  EXPECT_DOUBLE_EQ(cond.luma_scale_at(1.5), 0.8 * 0.25);
+  EXPECT_DOUBLE_EQ(cond.luma_scale_at(2.0), 0.8);  // exit is exclusive
+}
+
 }  // namespace
 }  // namespace dive::video
